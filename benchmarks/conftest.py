@@ -1,0 +1,34 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs its figure's driver once (pedantic, one round: the
+drivers are deterministic discrete-event simulations, so repeated rounds
+measure nothing new), prints the regenerated tables, saves them under
+``benchmarks/results/``, and asserts the paper's shapes.
+
+Set ``REPRO_BENCH_FULL=1`` to run at the paper's scale (240 clients,
+180 workers, longer measurement windows).
+"""
+
+import pathlib
+
+from repro.bench.harness import full_mode
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def regenerate(benchmark, module):
+    """Run ``module.run`` once under pytest-benchmark; print + save.
+
+    Fast-mode and paper-scale results are kept side by side under
+    ``results/fast/`` and ``results/full/``.
+    """
+    fast = not full_mode()
+    result = benchmark.pedantic(module.run, kwargs={"fast": fast}, rounds=1, iterations=1)
+    rendered = result.render()
+    print("\n" + rendered)
+    out_dir = RESULTS_DIR / ("fast" if fast else "full")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    name = module.__name__.rsplit(".", 1)[-1]
+    (out_dir / f"{name}.txt").write_text(rendered + "\n")
+    result.save_csv(out_dir / "csv", name)
+    return result

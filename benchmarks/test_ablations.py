@@ -1,0 +1,23 @@
+"""Ablations of KRCORE's design choices (DESIGN.md §6)."""
+
+from repro.bench import ablations
+from conftest import regenerate
+
+
+def test_ablations(benchmark):
+    result = regenerate(benchmark, ablations)
+
+    cached_us, uncached_us = result.metrics["dccache"]
+    # A DCCache hit is a bare syscall; a miss pays the 2-READ lookup.
+    assert cached_us < 1.2
+    assert 4.0 < uncached_us < 7.0
+    assert uncached_us > 4 * cached_us
+
+    per_cpu, shared = result.metrics["pools"]
+    # Funneling all threads through one pool costs real throughput.
+    assert per_cpu > 1.5 * shared
+
+    zc = result.metrics["zc"]
+    thresholds = sorted(zc)
+    # Zero-copy (low thresholds) beats copying for a 32 KB payload.
+    assert zc[thresholds[0]] < zc[thresholds[-1]]

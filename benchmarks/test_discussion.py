@@ -1,0 +1,26 @@
+"""§6's discussion claims, checked quantitatively."""
+
+from repro.bench import discussion
+from conftest import regenerate
+
+
+def test_discussion(benchmark):
+    result = regenerate(benchmark, discussion)
+    cx4_verbs_ms, cx4_krcore_us = result.metrics["cx4"]
+    cx6_verbs_ms, cx6_krcore_us = result.metrics["cx6"]
+
+    # "on ConnectX-6 the user-space driver still takes 17ms" (§6).
+    assert abs(cx4_verbs_ms - 15.7) < 0.3
+    assert abs(cx6_verbs_ms - 17.0) < 0.4
+    # Hardware upgrades do not remove the control-path cost...
+    assert cx6_verbs_ms >= cx4_verbs_ms
+    # ...while KRCORE's qconnect barely notices the NIC generation.
+    assert abs(cx6_krcore_us - cx4_krcore_us) < 0.5
+    assert cx4_krcore_us < 8
+
+    # The kernel-space trade-off: ~1 us per op vs a ~15.7 ms saving means
+    # KRCORE wins until a worker issues >10,000 requests per connection --
+    # and "functions ... only issue one request ... on average" (§6).
+    assert result.metrics["crossover_requests"] > 10_000
+    verbs_op, krcore_op = result.metrics["ops"]
+    assert 0.7 < krcore_op - verbs_op < 1.4  # the ~1 us kernel overhead

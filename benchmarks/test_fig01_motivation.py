@@ -1,0 +1,16 @@
+"""Fig 1: elastic apps' data time vs the RDMA control path."""
+
+from repro.bench import fig01
+from conftest import regenerate
+
+
+def test_fig01_motivation(benchmark):
+    result = regenerate(benchmark, fig01)
+    metrics = result.metrics
+    # Elastic data paths run in microseconds...
+    assert metrics["race_us"] < 20
+    assert metrics["transfer_us"] < 20
+    assert 5 < metrics["txn_us"] < 100  # FaRM-v2's 10-100 us band (§2.1)
+    # ...the control path in milliseconds: a >1000x mismatch.
+    assert metrics["gap"] > 1_000
+    assert abs(metrics["verbs_control_ms"] - 15.7) < 0.5

@@ -1,0 +1,18 @@
+"""Fig 3: control/data gap and the control-path breakdown."""
+
+from repro.bench import fig03
+from conftest import regenerate
+
+
+def test_fig03_breakdown(benchmark):
+    result = regenerate(benchmark, fig03)
+    metrics = result.metrics
+    # Paper: 15.7 ms control vs 2.15 us data, a ~7,300x gap.
+    assert abs(metrics["control_us"] - 15_700) < 300
+    assert abs(metrics["data_us"] - 2.15) < 0.15
+    assert 5_000 < metrics["gap"] < 10_000
+    # The handshake is NOT the dominant factor (paper: 2.4%; our
+    # handshake window also absorbs the server-side create_qp wait).
+    assert metrics["handshake_share"] < 0.12
+    # Driver init dominates the user-space control path.
+    assert metrics["init_share"] > 0.7

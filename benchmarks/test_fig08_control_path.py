@@ -1,0 +1,34 @@
+"""Fig 8: single-connection and full-mesh establishment."""
+
+from repro.bench import fig08
+from repro.bench.harness import full_mode
+from conftest import regenerate
+
+
+def test_fig08_control_path(benchmark):
+    result = regenerate(benchmark, fig08)
+    single = result.metrics["single"]
+    mesh = result.metrics["mesh"]
+    max_clients = 240 if full_mode() else 40
+
+    # Latencies at one client: KRCORE 5.4 us, verbs 15.7 ms, LITE ~2 ms.
+    assert abs(single[("krcore", 1)][0] - 5.4) < 1.0
+    assert abs(single[("verbs", 1)][0] - 15_700) < 300
+    assert 1_800 < single[("lite", 1)][0] < 2_800
+
+    # Throughput: verbs/LITE are capped by the ~712 QP/s hardware ceiling;
+    # KRCORE reuses QPs and scales orders of magnitude beyond.
+    assert single[("lite", max_clients)][1] < 800
+    assert single[("verbs", max_clients)][1] < 800
+    assert single[("krcore", max_clients)][1] > 100 * single[("lite", max_clients)][1]
+    if full_mode():
+        # Paper: 22M conn/s at 240 clients.
+        assert 15e6 < single[("krcore", 240)][1] < 30e6
+
+    # Full mesh: KRCORE cuts ~99% of the creation time.
+    workers = 24 if not full_mode() else 240
+    assert mesh[("krcore", workers)] < 0.01 * mesh[("verbs", workers)]
+    assert mesh[("krcore", workers)] < 0.01 * mesh[("lite", workers)]
+    # More workers never get cheaper.
+    krcore_times = [v for (s, w), v in sorted(mesh.items()) if s == "krcore"]
+    assert krcore_times == sorted(krcore_times)

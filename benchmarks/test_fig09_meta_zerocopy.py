@@ -1,0 +1,36 @@
+"""Fig 9: meta-server vs RPC queries; zero-copy for large messages."""
+
+from repro.bench import fig09
+from repro.bench.harness import full_mode
+from conftest import regenerate
+
+
+def test_fig09_meta_zerocopy(benchmark):
+    result = regenerate(benchmark, fig09)
+    meta = result.metrics["meta"]
+    rpc = result.metrics["rpc"]
+    max_clients = 240 if full_mode() else 40
+
+    # The RPC service is CPU-bound at ~1.86 M/s (one kernel thread).
+    assert rpc[max_clients][1] < 2.2
+    # The one-sided meta server bypasses that CPU entirely.
+    assert meta[max_clients][1] > 2.5 * rpc[max_clients][1]
+    if full_mode():
+        assert meta[240][1] > 8 * rpc[240][1]  # paper: 11.8x
+    # Low-load latency: two READs beat an RPC round.
+    assert meta[1][0] < rpc[1][0]
+    # RPC latency blows up with load (queuing at the single thread).
+    assert rpc[max_clients][0] > 2 * rpc[1][0]
+    # Meta-server latency stays far more stable.
+    assert meta[max_clients][0] < 3 * meta[1][0]
+
+    zc = result.metrics["zerocopy"]
+    # Copy overhead is significant above 16 KB (paper: 1.45-3.1x)...
+    verbs_64k, copy_64k, opt_64k = zc[65536]
+    assert copy_64k / verbs_64k > 1.45
+    # ...and the zero-copy protocol removes most of it.
+    assert opt_64k < copy_64k * 0.85
+    assert opt_64k / verbs_64k < 2.1
+    # For small messages both paths are equivalent (copy is cheap).
+    verbs_small, copy_small, opt_small = zc[64]
+    assert abs(copy_small - opt_small) < 0.2

@@ -1,0 +1,33 @@
+"""Fig 10: one-sided READ/WRITE sync latency and async peaks."""
+
+from repro.bench import fig10
+from conftest import regenerate
+
+
+def test_fig10_onesided(benchmark):
+    result = regenerate(benchmark, fig10)
+    m = result.metrics
+
+    # Sync: KRCORE adds ~1 us (the syscall) -- 25-46% at 8B (paper).
+    verbs_lat = m[("read", "sync", "verbs", 1)]
+    for system in ("krcore_rc", "krcore_dc"):
+        lat = m[("read", "sync", system, 1)]
+        assert 1.20 < lat / verbs_lat < 1.55
+    assert abs(verbs_lat - 2.15) < 0.15
+    assert abs(m[("read", "sync", "krcore_rc", 1)] - 3.15) < 0.3
+
+    # Async READ peaks: verbs ~138 M/s; KRCORE(RC) matches; DC ~14% lower.
+    read_verbs = m[("read", "async", "verbs", 240)]
+    read_rc = m[("read", "async", "krcore_rc", 240)]
+    read_dc = m[("read", "async", "krcore_dc", 240)]
+    assert abs(read_verbs - 138) < 14
+    assert abs(read_rc - read_verbs) / read_verbs < 0.08
+    assert 0.75 < read_dc / read_verbs < 0.92
+
+    # Async WRITE peaks: verbs ~145 M/s; DC ~9% lower.
+    write_verbs = m[("write", "async", "verbs", 240)]
+    write_rc = m[("write", "async", "krcore_rc", 240)]
+    write_dc = m[("write", "async", "krcore_dc", 240)]
+    assert abs(write_verbs - 145) < 15
+    assert abs(write_rc - write_verbs) / write_verbs < 0.08
+    assert 0.80 < write_dc / write_verbs < 0.95

@@ -1,0 +1,24 @@
+"""Fig 11: two-sided echo latency and throughput."""
+
+from repro.bench import fig11
+from conftest import regenerate
+
+
+def test_fig11_twosided(benchmark):
+    result = regenerate(benchmark, fig11)
+    m = result.metrics
+
+    # Sync: verbs 7.9 us, KRCORE 9.6 us (two extra kernel crossings).
+    verbs_lat = m[("sync", "verbs", 1)]
+    krcore_lat = m[("sync", "krcore", 1)]
+    assert abs(verbs_lat - 7.9) < 0.6
+    assert abs(krcore_lat - 9.6) < 0.8
+    assert 1.04 < krcore_lat / verbs_lat < 1.35  # paper: 4-21% (RC)
+
+    # Async peaks: verbs 42.3 M/s vs KRCORE 33.7 M/s (~20% lower,
+    # bottlenecked by the server CPU's kernel work).
+    verbs_peak = m[("async", "verbs", 240)]
+    krcore_peak = m[("async", "krcore", 240)]
+    assert abs(verbs_peak - 42.3) < 4.5
+    assert abs(krcore_peak - 33.7) < 3.5
+    assert 0.70 < krcore_peak / verbs_peak < 0.90

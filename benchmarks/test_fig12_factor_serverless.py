@@ -1,0 +1,25 @@
+"""Fig 12: factor analysis of the data path; serverless transfer."""
+
+from repro.bench import fig12
+from conftest import regenerate
+
+
+def test_fig12_factor_serverless(benchmark):
+    result = regenerate(benchmark, fig12)
+    factors = result.metrics["factors"]
+
+    base = factors["verbs (base)"]
+    # +DCQP is nearly free (<0.5 us, paper).
+    assert factors["+DCQP"] - base < 0.5
+    # +System call adds ~1 us (paper: 3.15 vs 2.14 us).
+    assert 0.7 < factors["+System call"] - factors["+DCQP"] < 1.2
+    # +Checks are trivial (<0.5 us).
+    assert factors["+Checks"] - factors["+System call"] < 0.5
+    # +MR miss adds ~4.5 us (one ValidMR lookup).
+    assert 3.5 < factors["+MR miss"] - factors["+Checks"] < 6.5
+
+    # Serverless: KRCORE cuts the transfer time by >= 99% (Fig 12b).
+    for payload, (verbs_ms, krcore_ms, reduction) in result.metrics["transfers"].items():
+        assert reduction > 99.0
+        assert verbs_ms > 25  # dominated by both sides' control paths
+        assert krcore_ms < 0.2

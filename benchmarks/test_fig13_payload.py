@@ -1,0 +1,25 @@
+"""Fig 13: KRCORE's slowdown vs verbs across payload sizes."""
+
+from repro.bench import fig13
+from conftest import regenerate
+
+
+def test_fig13_payload(benchmark):
+    result = regenerate(benchmark, fig13)
+    m = result.metrics
+
+    # Small ops pay the full ~1 us kernel overhead (25-46% at 8B).
+    assert m[("read", 8)] > 25
+    assert m[("write", 8)] > 25
+    # READ: negligible (<7%) from 256 KB (paper).
+    assert m[("read", 262144)] < 7
+    # WRITE: negligible from 8 KB (paper; we allow <10%).
+    assert m[("write", 8192)] < 10
+    # Slowdown decreases monotonically with payload for both ops.
+    for opcode in ("read", "write"):
+        series = [v for (op, payload), v in sorted(m.items()) if op == opcode]
+        ordered = [v for (op, payload), v in sorted(
+            ((k, v) for k, v in m.items() if k[0] == opcode),
+            key=lambda item: item[0][1],
+        )]
+        assert ordered == sorted(ordered, reverse=True)

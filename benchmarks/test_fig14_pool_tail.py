@@ -1,0 +1,29 @@
+"""Fig 14: DCQP pool sizing and fan-out tail latency."""
+
+from repro.bench import fig14
+from conftest import regenerate
+
+
+def test_fig14_pool_tail(benchmark):
+    result = regenerate(benchmark, fig14)
+    pool = result.metrics["pool"]
+    rc_batch = result.metrics["rc_batch"]
+
+    # One DCQP serializes reconnections: worse than RC (paper: 99 vs 75 us).
+    assert pool[1] > rc_batch
+    # From pool >= 2, DC beats RC (paper: by 28-78%).
+    assert pool[2] < rc_batch
+    assert pool[4] < 0.72 * rc_batch
+    # Bigger pools help monotonically.
+    sizes = sorted(pool)
+    values = [pool[s] for s in sizes]
+    assert values == sorted(values, reverse=True)
+
+    tails = result.metrics["tails"]
+    verbs_p999 = tails["verbs"][2]
+    rc_p999 = tails["krcore_rc"][2]
+    dc_p999 = tails["krcore_dc"][2]
+    # Paper: 2.8 / 3.8 / 6 us at the 99.9th percentile.
+    assert verbs_p999 < rc_p999 < dc_p999
+    assert dc_p999 > 1.4 * rc_p999
+    assert 4.0 < dc_p999 < 9.0

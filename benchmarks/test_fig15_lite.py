@@ -1,0 +1,34 @@
+"""Fig 15: memory and data-path comparison with LITE."""
+
+from repro.bench import fig15
+from conftest import regenerate
+
+
+def test_fig15_lite(benchmark):
+    result = regenerate(benchmark, fig15)
+
+    memory = result.metrics["memory"]
+    # Paper: 780 MB vs 6.3 MB at 5,000 connections (>100x).
+    lite_mb, krcore_mb = memory[5_000]
+    assert 700 < lite_mb < 900
+    assert 5.5 < krcore_mb < 8
+    assert lite_mb / krcore_mb > 100
+    # LITE grows linearly; KRCORE stays (nearly) constant.
+    assert memory[10_000][0] > 1.9 * memory[5_000][0]
+    assert memory[10_000][1] < 1.1 * memory[5_000][1]
+
+    sync = result.metrics["sync"]
+    # Sync: KRCORE(DC) is somewhat slower than LITE (paper: up to 20%;
+    # our random-target workload retargets nearly every request).
+    assert sync["lite"] < sync["krcore_dc"] < 1.5 * sync["lite"]
+
+    async_points = result.metrics["async"]
+    # LITE wrecks its shared QP beyond 6 posting threads (Issue #3)...
+    assert async_points[("lite", 6)] > 0
+    assert async_points[("lite", 7)] == 0.0
+    assert async_points[("lite", 12)] == 0.0
+    # ...while KRCORE's pre-checks let it keep scaling (paper: ~3x peak).
+    lite_peak = max(v for (s, t), v in async_points.items() if s == "lite")
+    krcore_peak = max(v for (s, t), v in async_points.items() if s == "krcore_dc")
+    assert async_points[("krcore_dc", 12)] > 0
+    assert krcore_peak > 2 * lite_peak

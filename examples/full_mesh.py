@@ -1,0 +1,36 @@
+"""Burst-parallel serverless workers building a full mesh (Fig 8b).
+
+Every worker connects to every other worker -- the communication pattern
+of burst-parallel serverless jobs.  With verbs each worker pays driver
+init plus per-connection hardware setup, gated by the ~712 QP/s per-node
+ceiling; with KRCORE each qconnect is a syscall plus (at most) one cached
+metadata lookup.
+
+Run:  python examples/full_mesh.py
+"""
+
+from repro.bench.fig08 import _full_mesh
+
+WORKER_COUNTS = [6, 12, 24]
+
+
+def main():
+    print("full-mesh connection establishment (all-to-all workers)\n")
+    print(f"{'workers':>8}  {'verbs':>12}  {'LITE':>12}  {'KRCORE':>12}  {'saved':>7}")
+    for workers in WORKER_COUNTS:
+        verbs_ms = _full_mesh("verbs", workers)
+        lite_ms = _full_mesh("lite", workers)
+        krcore_ms = _full_mesh("krcore", workers)
+        saved = 100 * (1 - krcore_ms / verbs_ms)
+        print(
+            f"{workers:>8}  {verbs_ms:>10.1f}ms  {lite_ms:>10.1f}ms"
+            f"  {krcore_ms * 1000:>10.1f}us  {saved:>6.2f}%"
+        )
+    print(
+        "\nKRCORE cuts ~99%+ of the mesh creation time regardless of the"
+        " worker count (paper Fig 8b: 240 workers in 81 us vs 2.7 s)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Quickstart: connect with KRCORE in microseconds and move bytes.
+
+Builds a small simulated cluster, loads the KRCORE kernel module on each
+node, then shows the core API from Fig 7 of the paper:
+
+* ``qconnect`` -- a full-fledged RDMA connection in ~5 us (vs ~15.7 ms
+  for user-space verbs);
+* one-sided READ/WRITE through a virtual QP;
+* two-sided messaging with ``qbind`` / ``qpop_msgs``.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import Cluster
+from repro.krcore import KrcoreLib, KrcoreModule, MetaServer
+from repro.sim import Simulator
+from repro.verbs import DriverContext, RecvBuffer, WorkRequest
+from repro.verbs.connection import ConnectionManager, rc_connect
+
+
+def main():
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=4)
+
+    # Boot: one meta server, then a KRCORE module per node (meta first).
+    meta = MetaServer(cluster.node(0))
+    modules = [KrcoreModule(cluster.node(i), meta) for i in range(4)]
+    client_node, server_node = cluster.node(1), cluster.node(2)
+
+    lib_client = KrcoreLib(client_node)
+    lib_server = KrcoreLib(server_node)
+
+    def demo():
+        # -- control path: microsecond connect ------------------------------
+        start = sim.now
+        vqp = yield from lib_client.create_vqp()
+        yield from lib_client.qconnect(vqp, server_node.gid)
+        print(f"KRCORE qconnect:        {(sim.now - start) / 1000:8.2f} us")
+
+        # For contrast: the verbs control path on a fresh process.
+        ConnectionManager(cluster.node(3), DriverContext(cluster.node(3), kernel=True))
+        ctx = DriverContext(client_node)
+        start = sim.now
+        yield from ctx.ensure_init()
+        cq = yield from ctx.create_cq()
+        yield from rc_connect(ctx, cq, cluster.node(3).gid)
+        print(f"verbs first connection: {(sim.now - start) / 1000:8.2f} us")
+
+        # -- one-sided data path --------------------------------------------
+        remote_addr = server_node.memory.alloc(4096)
+        remote_mr = yield from lib_server.reg_mr(remote_addr, 4096)
+        server_node.memory.write(remote_addr, b"hello from the server")
+        local_addr = client_node.memory.alloc(4096)
+        local_mr = yield from lib_client.reg_mr(local_addr, 4096)
+
+        start = sim.now
+        yield from lib_client.read_sync(
+            vqp, local_addr, local_mr.lkey, remote_addr, remote_mr.rkey, 21
+        )
+        print(f"one-sided 21B READ:     {(sim.now - start) / 1000:8.2f} us "
+              f"-> {client_node.memory.read(local_addr, 21)!r}")
+
+        # -- two-sided messaging --------------------------------------------
+        PORT = 7
+        server_vqp = yield from lib_server.create_vqp()
+        yield from lib_server.qbind(server_vqp, PORT)
+        yield from lib_server.post_recv(
+            server_vqp, RecvBuffer(remote_addr + 1024, 1024, remote_mr.lkey)
+        )
+        msg_vqp = yield from lib_client.create_vqp()
+        yield from lib_client.qconnect(msg_vqp, server_node.gid, PORT)
+        client_node.memory.write(local_addr, b"ping over a VQP")
+        yield from lib_client.post_send(
+            msg_vqp, WorkRequest.send(local_addr, 15, local_mr.lkey)
+        )
+        results = yield from lib_server.qpop_msgs_wait(server_vqp)
+        src_vqp, completion = results[0]
+        payload = server_node.memory.read(remote_addr + 1024, completion.byte_len)
+        print(f"qpop_msgs delivered:    {payload!r} "
+              f"(reply VQP to {src_vqp.remote_gid} created without any lookup)")
+
+    sim.run_process(demo())
+    print(f"\nsimulated time elapsed: {sim.now / 1e6:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

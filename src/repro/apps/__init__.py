@@ -1,0 +1,7 @@
+"""Application case studies from the paper's evaluation (§5.3):
+
+* :mod:`repro.apps.race`       -- a RACE-style disaggregated key-value
+  store driven over one-sided RDMA (verbs / LITE / KRCORE backends);
+* :mod:`repro.apps.serverless` -- an Fn-like serverless platform running
+  ServerlessBench's data-transfer testcase over RDMA.
+"""

@@ -1,0 +1,25 @@
+"""An Fn-like serverless platform (§5.3.2).
+
+Functions run in containers on cluster nodes; the platform models cold
+and warm starts (the paper uses warm-start techniques [40] so container
+time does not mask the RDMA control path).  The data-transfer testcase is
+ServerlessBench's TestCase5: measure the time to pass a message between
+two functions on different machines over RDMA.
+"""
+
+from repro.apps.serverless.platform import (
+    COLD_START_NS,
+    WARM_START_NS,
+    FunctionError,
+    ServerlessPlatform,
+)
+from repro.apps.serverless.transfer import TransferResult, run_transfer_testcase
+
+__all__ = [
+    "COLD_START_NS",
+    "FunctionError",
+    "ServerlessPlatform",
+    "TransferResult",
+    "WARM_START_NS",
+    "run_transfer_testcase",
+]

@@ -1,0 +1,24 @@
+"""FaRM-style distributed transactions over one-sided RDMA.
+
+Fig 1 of the paper motivates KRCORE with elastic RDMA applications; one of
+them is FaRM-v2 [46] running TPC-C-style transactions whose execution has
+reached 10-100 us -- dwarfed by a 15.7 ms connection setup.  This package
+implements that substrate: optimistic concurrency control in the style of
+FaRM's commit protocol (SOSP'15 / SIGMOD'19), executed purely with
+one-sided READ / WRITE / CAS against passive storage nodes:
+
+* **execute**: READ records (version + value) into a local read-set;
+  writes buffer locally;
+* **lock**: CAS each write-set record's header to set the lock bit;
+* **validate**: re-READ each read-set header -- unchanged and unlocked;
+* **install**: WRITE new values, then WRITE headers with version+1 and
+  the lock released.
+
+No replication or logging (the paper's Fig 1 only needs the transaction
+execution path); conflicts abort and the caller retries.
+"""
+
+from repro.apps.txn.storage import TxnError, TxnStorage
+from repro.apps.txn.client import Transaction, TxnAborted, TxnClient
+
+__all__ = ["Transaction", "TxnAborted", "TxnClient", "TxnError", "TxnStorage"]

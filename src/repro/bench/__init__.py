@@ -1,0 +1,15 @@
+"""Benchmark drivers: one module per figure of the paper's evaluation.
+
+Each ``figXX`` module exposes ``run(fast=True)`` returning a
+:class:`repro.bench.harness.FigureResult` whose tables print the same
+rows/series the paper reports, plus a ``metrics`` dict the benchmark
+tests assert shapes on (who wins, by roughly what factor, where
+crossovers fall).
+
+``fast=True`` (the default, used in CI) shrinks client counts and
+measurement windows; set ``REPRO_BENCH_FULL=1`` to run paper-scale.
+"""
+
+from repro.bench.harness import FigureResult, Table, full_mode
+
+__all__ = ["FigureResult", "Table", "full_mode"]

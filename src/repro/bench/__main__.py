@@ -1,0 +1,46 @@
+"""Run figure reproductions from the command line.
+
+    python -m repro.bench            # every figure, fast mode
+    python -m repro.bench fig10      # one figure
+    python -m repro.bench --full     # paper-scale
+"""
+
+import argparse
+import importlib
+import sys
+import time
+
+ALL_FIGURES = [
+    "fig01", "fig03", "fig08", "fig09", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "ablations",
+    "discussion",
+]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures on the simulated cluster.",
+    )
+    parser.add_argument(
+        "figures", nargs="*", default=ALL_FIGURES,
+        help=f"which figures to run (default: all of {', '.join(ALL_FIGURES)})",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run at the paper's scale (240 clients, 180 workers)",
+    )
+    args = parser.parse_args(argv)
+    for name in args.figures:
+        if name not in ALL_FIGURES:
+            parser.error(f"unknown figure {name!r}; choose from {ALL_FIGURES}")
+        module = importlib.import_module(f"repro.bench.{name}")
+        started = time.time()
+        result = module.run(fast=not args.full)
+        result.show()
+        print(f"[{name} regenerated in {time.time() - started:.1f}s wall time]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Fig 3: the RDMA control-path / data-path gap and its breakdown.
+
+(a) connecting + communicating with one node: verbs control ~15.7 ms vs
+    a 2.15 us 8B READ (a ~7,300x gap);
+(b) the control path is dominated by hardware setup, not the handshake
+    (2.4%): driver init, create_qp (87% RNIC), configure RTR/RTS.
+"""
+
+from repro.bench.harness import FigureResult
+from repro.bench.onesided import run_onesided
+from repro.bench.setups import verbs_cluster
+from repro.cluster import timing
+from repro.verbs import DriverContext
+from repro.verbs.connection import rc_connect
+
+
+def run(fast=True):
+    result = FigureResult("Fig 3", "verbs control path vs data path")
+    data_us = run_onesided("verbs", "sync", num_clients=1).avg_latency_us
+
+    sim, cluster = verbs_cluster(num_nodes=2)
+    marks = {}
+
+    def connect_once():
+        ctx = DriverContext(cluster.node(0))
+        yield from ctx.ensure_init()
+        marks["init"] = sim.now
+        cq = yield from ctx.create_cq()
+        marks["create_cq"] = sim.now
+        yield from rc_connect(ctx, cq, cluster.node(1).gid)
+        marks["connected"] = sim.now
+
+    sim.run_process(connect_once())
+    control_us = marks["connected"] / 1000.0
+
+    gap = control_us / data_us
+    table = result.table(
+        "(a) control vs data path (one client, 8B READ)",
+        ["path", "latency (us)", "paper (us)"],
+    )
+    table.add_row("verbs control", control_us, 15_700)
+    table.add_row("verbs data", data_us, 2.15)
+    table.add_row("gap (x)", gap, "7,300x")
+
+    init_us = marks["init"] / 1000.0
+    create_us = (marks["create_cq"] - marks["init"]) / 1000.0 + timing.CREATE_QP_NS / 1000.0
+    configure_us = (timing.MODIFY_RTR_NS + timing.MODIFY_RTS_NS) / 1000.0
+    handshake_us = control_us - init_us - create_us - configure_us
+    breakdown = result.table(
+        "(b) control path breakdown",
+        ["component", "time (us)", "share (%)"],
+    )
+    for name, value in (
+        ("Init (driver context)", init_us),
+        ("Create (cq + qp)", create_us),
+        ("Handshake (incl. server create)", handshake_us),
+        ("Configure (RTR + RTS)", configure_us),
+    ):
+        breakdown.add_row(name, value, 100.0 * value / control_us)
+    hw = result.table(
+        "create_qp detail", ["part", "time (us)", "share (%)"]
+    )
+    hw.add_row("waiting for RNIC hardware queues", timing.CREATE_QP_HW_NS / 1000.0,
+               100.0 * timing.CREATE_QP_HW_NS / timing.CREATE_QP_NS)
+    hw.add_row("driver software", (timing.CREATE_QP_NS - timing.CREATE_QP_HW_NS) / 1000.0,
+               100.0 * (1 - timing.CREATE_QP_HW_NS / timing.CREATE_QP_NS))
+
+    result.metrics.update(
+        control_us=control_us,
+        data_us=data_us,
+        gap=gap,
+        init_share=init_us / control_us,
+        handshake_share=handshake_us / control_us,
+    )
+    return result

@@ -1,0 +1,44 @@
+"""Fig 10: one-sided READ/WRITE data-path performance.
+
+Sync latency and async inbound peak throughput for verbs vs KRCORE
+backed by RC and DC.  Paper peaks: READ 138 / 138 / 118 M/s; WRITE
+145 / 145 / 132 M/s; sync KRCORE is 25-46% slower (the syscall).
+"""
+
+from repro.bench.harness import FigureResult
+from repro.bench.onesided import run_onesided
+from repro.sim import US
+
+SYSTEMS = ("verbs", "krcore_rc", "krcore_dc")
+
+
+def run(fast=True):
+    result = FigureResult("Fig 10", "one-sided RDMA performance")
+    sync_clients = [1, 16] if fast else [1, 16, 60, 120]
+    async_clients = [240]
+    measure = (150 if fast else 500) * US
+
+    metrics = {}
+    for opcode in ("read", "write"):
+        sync_table = result.table(
+            f"({'a' if opcode == 'read' else 'c'}) sync {opcode.upper()} latency",
+            ["system", "clients", "avg latency (us)"],
+        )
+        for system in SYSTEMS:
+            for clients in sync_clients:
+                r = run_onesided(system, "sync", opcode=opcode, num_clients=clients,
+                                 measure_ns=measure)
+                sync_table.add_row(system, clients, r.avg_latency_us)
+                metrics[(opcode, "sync", system, clients)] = r.avg_latency_us
+        async_table = result.table(
+            f"({'b' if opcode == 'read' else 'd'}) async {opcode.upper()} peak throughput",
+            ["system", "clients", "throughput (M/s)"],
+        )
+        for system in SYSTEMS:
+            for clients in async_clients:
+                r = run_onesided(system, "async", opcode=opcode, num_clients=clients,
+                                 batch=16, measure_ns=measure)
+                async_table.add_row(system, clients, r.throughput_mps)
+                metrics[(opcode, "async", system, clients)] = r.throughput_mps
+    result.metrics = metrics
+    return result

@@ -1,0 +1,38 @@
+"""Fig 11: two-sided (echo) performance.
+
+Paper: sync echo 7.9 us (verbs) vs 9.6 us (KRCORE, +2 kernel crossings);
+async inbound peak 42.3 M/s (verbs, 24 server cores) vs 33.7 M/s (KRCORE,
+extra kernel work per message).
+"""
+
+from repro.bench.echo import run_echo
+from repro.bench.harness import FigureResult
+from repro.sim import US
+
+
+def run(fast=True):
+    result = FigureResult("Fig 11", "two-sided RDMA performance")
+    sync_clients = [1, 8] if fast else [1, 8, 40, 120]
+    measure = (200 if fast else 600) * US
+
+    sync_table = result.table(
+        "(a) sync echo latency", ["system", "clients", "avg latency (us)"]
+    )
+    metrics = {}
+    for system in ("verbs", "krcore"):
+        for clients in sync_clients:
+            kwargs = {"kernel_buf_bytes": 512} if system == "krcore" else {}
+            r = run_echo(system, "sync", num_clients=clients, measure_ns=measure, **kwargs)
+            sync_table.add_row(system, clients, r.avg_latency_us)
+            metrics[("sync", system, clients)] = r.avg_latency_us
+
+    async_table = result.table(
+        "(b) async echo peak throughput", ["system", "clients", "throughput (M/s)"]
+    )
+    for system in ("verbs", "krcore"):
+        kwargs = {"kernel_buf_bytes": 512} if system == "krcore" else {}
+        r = run_echo(system, "async", num_clients=240, window=8, measure_ns=measure, **kwargs)
+        async_table.add_row(system, 240, r.throughput_mps)
+        metrics[("async", system, 240)] = r.throughput_mps
+    result.metrics = metrics
+    return result

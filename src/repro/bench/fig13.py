@@ -1,0 +1,47 @@
+"""Fig 13: KRCORE's slowdown vs verbs across payload sizes.
+
+The (constant, ~1 us) kernel overhead washes out as the transfer time
+grows: READ slowdown is negligible (<7%) from ~256 KB; WRITE from ~8 KB
+(writes pay higher per-byte costs on this hardware, so they amortize
+sooner).
+"""
+
+from repro.bench.harness import FigureResult
+from repro.bench.onesided import run_onesided
+from repro.sim import US
+
+READ_PAYLOADS_FAST = [8, 4096, 65536, 262144]
+READ_PAYLOADS_FULL = [8, 1024, 4096, 16384, 65536, 262144, 1048576]
+WRITE_PAYLOADS_FAST = [8, 1024, 8192, 65536]
+WRITE_PAYLOADS_FULL = [8, 256, 1024, 4096, 8192, 32768, 65536]
+
+
+def run(fast=True):
+    result = FigureResult("Fig 13", "slowdown vs verbs across payloads")
+    metrics = {}
+    for opcode, payloads in (
+        ("read", READ_PAYLOADS_FAST if fast else READ_PAYLOADS_FULL),
+        ("write", WRITE_PAYLOADS_FAST if fast else WRITE_PAYLOADS_FULL),
+    ):
+        table = result.table(
+            f"sync one-sided {opcode.upper()}",
+            ["payload (B)", "verbs (us)", "KRCORE(RC) (us)", "slowdown (%)"],
+        )
+        for payload in payloads:
+            # Size the window so even MB-scale ops collect a few samples.
+            op_estimate_ns = 4_000 + int(payload * 1.6)
+            measure = max(150 * US, 40 * op_estimate_ns)
+            memory = max(16 << 20, payload * 8)
+            verbs_us = run_onesided(
+                "verbs", "sync", opcode=opcode, payload=payload,
+                measure_ns=measure, memory_size=memory,
+            ).avg_latency_us
+            krcore_us = run_onesided(
+                "krcore_rc", "sync", opcode=opcode, payload=payload,
+                measure_ns=measure, memory_size=memory,
+            ).avg_latency_us
+            slowdown = 100.0 * (krcore_us / verbs_us - 1)
+            table.add_row(payload, verbs_us, krcore_us, slowdown)
+            metrics[(opcode, payload)] = slowdown
+    result.metrics = metrics
+    return result

@@ -1,0 +1,39 @@
+"""The switched InfiniBand fabric connecting the cluster's nodes."""
+
+from repro.cluster import timing
+
+
+class Fabric:
+    """One 100 Gbps switch; every node is one hop from every other.
+
+    The fabric routes by *gid* (the node's RDMA address).  It is purely a
+    name service plus a latency model; packet delivery is performed by the
+    RNIC processes themselves.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._nodes = {}
+
+    def attach(self, node):
+        if node.gid in self._nodes:
+            raise ValueError(f"duplicate gid {node.gid}")
+        self._nodes[node.gid] = node
+
+    def detach(self, node):
+        self._nodes.pop(node.gid, None)
+
+    def node(self, gid):
+        """Resolve a gid; raises KeyError for unknown/dead nodes."""
+        return self._nodes[gid]
+
+    def has_node(self, gid):
+        return gid in self._nodes
+
+    @property
+    def nodes(self):
+        return list(self._nodes.values())
+
+    def one_way_ns(self, nbytes):
+        """Propagation + serialization for ``nbytes`` of payload one way."""
+        return timing.WIRE_ONE_WAY_NS + timing.wire_transfer_ns(nbytes)

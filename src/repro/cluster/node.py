@@ -1,0 +1,58 @@
+"""Nodes and the cluster factory."""
+
+from repro.sim import Resource
+from repro.cluster.fabric import Fabric
+from repro.cluster.memory import PhysicalMemory
+from repro.cluster.rnic import Rnic
+
+#: The paper's testbed: two 12-core Xeons per node.
+DEFAULT_CORES = 24
+
+#: Simulated DRAM per node.  Small by default; tests/benches that need more
+#: pass ``memory_size`` explicitly.
+DEFAULT_MEMORY = 16 << 20
+
+
+class Node:
+    """One server: CPU cores, DRAM, and an RNIC, attached to the fabric."""
+
+    def __init__(self, sim, fabric, gid, cores=DEFAULT_CORES, memory_size=DEFAULT_MEMORY):
+        self.sim = sim
+        self.fabric = fabric
+        self.gid = gid
+        self.cores = cores
+        self.cpu = Resource(sim, capacity=cores)
+        self.memory = PhysicalMemory(memory_size)
+        self.rnic = Rnic(sim, self)
+        self.alive = True
+        #: Per-node services (connection daemon, kernel modules) hang
+        #: themselves here so layers above can find each other.
+        self.services = {}
+        fabric.attach(self)
+
+    def fail(self):
+        """Crash the node: detach from the fabric; its DCT metadata becomes
+        invalid (§4.2: metadata "only invalidated when the host is down")."""
+        self.alive = False
+        self.fabric.detach(self)
+
+    def __repr__(self):
+        return f"Node(gid={self.gid!r}, cores={self.cores})"
+
+
+class Cluster:
+    """A rack-scale cluster like the paper's testbed (ten nodes, one switch)."""
+
+    def __init__(self, sim, num_nodes=10, cores=DEFAULT_CORES, memory_size=DEFAULT_MEMORY):
+        self.sim = sim
+        self.fabric = Fabric(sim)
+        self.nodes = [
+            Node(sim, self.fabric, gid=f"node{i}", cores=cores, memory_size=memory_size)
+            for i in range(num_nodes)
+        ]
+
+    def node(self, index):
+        return self.nodes[index]
+
+    def __len__(self):
+        return len(self.nodes)

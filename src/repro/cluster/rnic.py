@@ -1,0 +1,81 @@
+"""The RDMA NIC model.
+
+Two serialized engines reproduce the two bottlenecks the paper measures:
+
+* the **command processor** handles control-path work (building hardware
+  queues for create_qp, configuring QPs to RTR/RTS).  Its occupancy per
+  connection setup yields the ~712 QP/s server-side ceiling of Fig 8a.
+* the **inbound engine** handles responder-side data-path work.  Its per-op
+  occupancy yields the async peaks of Fig 10 (138M/s READ, 145M/s WRITE,
+  lower for DCT).
+
+Latency and occupancy are modelled separately: an op holds the engine for
+its (few-ns) service time, then pays a fixed pipeline latency that does not
+block other ops.
+"""
+
+from repro.sim import Resource
+
+
+class Rnic:
+    """One ConnectX-4-like RNIC attached to a node."""
+
+    def __init__(self, sim, node):
+        self.sim = sim
+        self.node = node
+        self.command_processor = Resource(sim, capacity=1)
+        self.inbound_engine = Resource(sim, capacity=1)
+        self._qps = {}
+        self._dct_targets = {}
+        self._next_qpn = 1
+        self._next_dctn = 1
+        #: Fractional-ns remainder so sub-ns service times still add up to
+        #: the right aggregate rate (sim time is integer ns).
+        self._service_carry = 0.0
+        #: Inbound ops served (benchmarks read this for unbiased rates).
+        self.stats_inbound_ops = 0
+
+    # -- registries -----------------------------------------------------------
+
+    def register_qp(self, qp):
+        qpn = self._next_qpn
+        self._next_qpn += 1
+        self._qps[qpn] = qp
+        return qpn
+
+    def unregister_qp(self, qp):
+        self._qps.pop(qp.qpn, None)
+
+    def qp(self, qpn):
+        return self._qps.get(qpn)
+
+    def create_dct_target(self, dc_key):
+        """Create a DCT target (cheap: hardware context only, §3)."""
+        number = self._next_dctn
+        self._next_dctn += 1
+        from repro.verbs.qp import DctTarget  # local import to avoid a cycle
+
+        target = DctTarget(self.node, number, dc_key)
+        self._dct_targets[number] = target
+        return target
+
+    def dct_target(self, number):
+        return self._dct_targets.get(number)
+
+    # -- engines ---------------------------------------------------------------
+
+    def command(self, service_ns):
+        """Process: occupy the command processor for ``service_ns``."""
+        yield from self.command_processor.serve(int(service_ns))
+
+    def serve_inbound(self, service_ns):
+        """Process: occupy the inbound engine for ``service_ns``.
+
+        Accepts fractional nanoseconds; the remainder is carried so that
+        aggregate throughput matches the configured rate exactly.
+        """
+        total = service_ns + self._service_carry
+        whole = int(total)
+        self._service_carry = total - whole
+        yield from self.inbound_engine.serve(whole)
+        self.stats_inbound_ops += 1

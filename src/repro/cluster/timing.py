@@ -1,0 +1,310 @@
+"""Calibration constants for the simulated hardware, in nanoseconds.
+
+Every number here is taken from (or derived to be consistent with) the
+paper's own measurements on its testbed: ConnectX-4 MCX455A 100 Gbps
+InfiniBand RNICs, Mellanox SB7890 switch, 2x12-core Xeon E5-2650 v4.
+
+The figures the constants must reproduce:
+
+* Fig 3  -- verbs control path 15.7 ms vs data path 2.15 us (8B READ);
+            create_qp 413 us of which 87% is the RNIC building hardware
+            queues; Handshake is 2.4% of the total control path.
+* Fig 8  -- KRCORE qconnect 5.4 us uncached / 0.9 us cached; 22M conn/s at
+            240 clients; verbs/LITE server-side limit of 712 QP/s.
+* Fig 10 -- async inbound peaks: READ 138M/s (RC) vs 118M/s (DC);
+            WRITE 145M/s (RC) vs 132M/s (DC).
+* Fig 11 -- two-sided echo: verbs 7.9 us, KRCORE(RC) 9.6 us; async peaks
+            42.3M/s (verbs) vs 33.7M/s (KRCORE).
+* Fig 12 -- factor analysis: +1 us syscall, +4.5 us MR-validation miss,
+            <0.5 us for DCQP use and for Algorithm-2 checks.
+* Fig 15 -- per-RCQP memory >= 159 KB (292 sq entries x 448 B, 257 cq
+            entries x 64 B, rounded to hardware granularity).
+"""
+
+from repro.sim import MS, US
+
+# ---------------------------------------------------------------------------
+# Wire / fabric (100 Gbps InfiniBand through one switch)
+# ---------------------------------------------------------------------------
+
+#: One-way propagation through NIC serdes + switch, small frame.
+WIRE_ONE_WAY_NS = 600
+
+#: Per-byte serialization at 100 Gbps (= 12.5 GB/s): 0.08 ns/B.
+WIRE_NS_PER_BYTE = 0.08
+
+#: Extra per-byte cost for one-sided WRITE payloads (client-side DMA fetch +
+#: store-and-forward).  Calibrated so the Fig 13 WRITE slowdown crossover
+#: lands near the paper's 8 KB while READ's stays near 256 KB.
+WRITE_EXTRA_NS_PER_BYTE = 1.2
+
+# ---------------------------------------------------------------------------
+# Data path: one-sided (Fig 3a / Fig 10).  Fixed parts sum to 2150 ns, the
+# paper's 8B READ latency with one client.
+# ---------------------------------------------------------------------------
+
+#: CPU cost of writing a WQE + ringing the doorbell (per request).
+POST_SEND_CPU_NS = 150
+
+#: Client NIC processing a WQE and emitting the packet.
+NIC_TX_NS = 200
+
+#: Responder-side fixed pipeline latency for a one-sided op.
+NIC_RESPONDER_PIPELINE_NS = 150
+
+#: Client NIC receiving the response and generating the CQE.
+NIC_RX_COMPLETION_NS = 250
+
+#: CPU cost of a (successful) poll_cq.
+POLL_CQ_CPU_NS = 200
+
+#: Responder occupancy per inbound 8B READ: 1 / 138 M/s.
+READ_RESPONDER_SERVICE_NS = 7.25
+
+#: Responder occupancy per inbound 8B WRITE: 1 / 145 M/s.
+WRITE_RESPONDER_SERVICE_NS = 6.90
+
+#: Extra responder occupancy for DCT transport (READ: 138M -> 118M/s).
+DC_READ_SERVICE_EXTRA_NS = 1.22
+
+#: Extra responder occupancy for DCT transport (WRITE: 145M -> 132M/s).
+DC_WRITE_SERVICE_EXTRA_NS = 0.68
+
+#: Payload-dependent responder occupancy (DMA engine time), tiered:
+#: the first RESPONDER_SERVICE_FREE_BYTES ride along free (8B ops hit the
+#: Fig 10 peaks); the next RESPONDER_SMALL_TIER_BYTES pay a random-access
+#: IOPS penalty (which caps KV-sized 64B lookups near the 22M conn/s
+#: ceiling of Fig 8a); bytes beyond that stream at wire bandwidth.
+RESPONDER_SERVICE_NS_PER_BYTE = 0.45
+RESPONDER_SERVICE_FREE_BYTES = 16
+RESPONDER_SMALL_TIER_BYTES = 240
+RESPONDER_BULK_NS_PER_BYTE = WIRE_NS_PER_BYTE
+
+
+def responder_payload_service_ns(nbytes):
+    """Extra responder occupancy for a payload of ``nbytes``."""
+    extra = max(0, nbytes - RESPONDER_SERVICE_FREE_BYTES)
+    small = min(extra, RESPONDER_SMALL_TIER_BYTES) * RESPONDER_SERVICE_NS_PER_BYTE
+    bulk = max(0, extra - RESPONDER_SMALL_TIER_BYTES) * RESPONDER_BULK_NS_PER_BYTE
+    return small + bulk
+
+#: RDMA request header bytes on the wire (simplified BTH+RETH).
+REQUEST_HEADER_BYTES = 30
+
+# ---------------------------------------------------------------------------
+# Data path: two-sided (Fig 11)
+# ---------------------------------------------------------------------------
+
+#: Responder NIC occupancy for an inbound SEND (before the CPU touches it).
+SEND_RESPONDER_SERVICE_NS = 7.0
+
+#: Fixed cost of landing an inbound SEND: consuming the receive WQE,
+#: DMA-ing the payload, generating the receive CQE, and host notification.
+#: Calibrated so a verbs 8B echo costs 7.9 us end-to-end (Fig 11a).
+SEND_DELIVERY_NS = 2_450
+
+#: Landing a header-only message (e.g. a zero-copy descriptor or a kernel
+#: control message): no payload DMA or user notification, just the CQE.
+SEND_DELIVERY_HEADER_NS = 800
+
+#: Responder occupancy for an 8-byte atomic (CAS / fetch-add): RNICs do
+#: atomics at roughly 1/3 the READ rate (~46 M/s on ConnectX-4).
+ATOMIC_RESPONDER_SERVICE_NS = 21.7
+
+#: Server CPU cost to receive+handle+reply one message in user space:
+#: 24 cores saturate at 42.3 M/s  =>  24 / 42.3M = 567 ns per message.
+TWO_SIDED_SERVER_CPU_NS = 567
+
+#: Extra per-message server CPU when the receive path crosses the kernel
+#: (KRCORE): 24 / 33.7 M/s = 712 ns per message.
+TWO_SIDED_SERVER_CPU_KERNEL_NS = 712
+
+# ---------------------------------------------------------------------------
+# DCT (§3, Fig 14)
+# ---------------------------------------------------------------------------
+
+#: Hardware-offloaded DCT (re)connection: "less than 1 us" (§3).
+DCT_RECONNECT_NS = 600
+
+#: Tail penalty when a reconnect needs an extra network round (connect
+#: packet collision/retransmit); DC reaches ~6 us at the 99.9th percentile
+#: under fan-out (Fig 14b).
+DCT_RECONNECT_TAIL_NS = 2_200
+
+#: One in this many reconnects pays the tail penalty (deterministic, so
+#: runs are reproducible; ~0.8% of retargets, which puts the fan-out
+#: workload's 99.9th percentile near the paper's 6 us).
+DCT_RECONNECT_TAIL_EVERY = 128
+
+#: Extra reconnection cost when retargets arrive back-to-back on one DCQP
+#: (the previous connection's teardown has not drained yet).  This is why
+#: a 1-DCQP pool serializes badly on multi-target batches (Fig 14a).
+DCT_RECONNECT_BUSY_NS = 900
+DCT_RECONNECT_BUSY_WINDOW_NS = 1_000
+
+#: DCT metadata size: number + key (§4.2: "12B is sufficient").
+DCT_METADATA_BYTES = 12
+
+# ---------------------------------------------------------------------------
+# Control path: verbs (Fig 3b).
+#
+# The simulated connection flow is:
+#   client: [driver init once] -> create_cq -> create_qp -> UD handshake
+#           (the server creates its QP inside the handshake window and
+#           replies with its QPN before configuring itself) -> RTR -> RTS
+# Client-observed first-connection latency:
+#   13,287 + 187 + 413 + 377 + 413 + 612 + 411 = 15,700 us   (Fig 3a)
+# LITE (kernel context + shared CQ already exist):
+#   413 + 377 + 413 + 612 + 411 = 2,226 us                   (~2 ms, Fig 3a)
+# Server-side command-processor occupancy per accepted connection:
+#   361 + 612 + 411 = 1,384 us  =>  ~722 QP/s                (Fig 8a's 712/s)
+# ---------------------------------------------------------------------------
+
+#: User-space driver context: open device, alloc PD, register memory.
+DRIVER_INIT_NS = 13_287 * US
+
+#: create_qp: total driver-visible latency...
+CREATE_QP_NS = 413 * US
+#: ...of which 87% (361 us) is the RNIC allocating hardware queues (§2.3.1).
+CREATE_QP_HW_NS = 361 * US
+
+#: Creating a completion queue (hardware queue as well).
+CREATE_CQ_NS = 187 * US
+CREATE_CQ_HW_NS = 163 * US
+
+#: modify_qp to ready-to-receive (RNIC configuration; holds the command
+#: processor for the full duration).
+MODIFY_RTR_NS = 612 * US
+
+#: modify_qp to ready-to-send.
+MODIFY_RTS_NS = 411 * US
+
+#: Fixed overhead of the UD-optimized handshake exchange (daemon scheduling
+#: plus protocol processing): 2.4% of the 15.7 ms total (§2.3.1).
+HANDSHAKE_NS = 377 * US
+
+#: Expected client-observed first-connection latency for user-space verbs.
+VERBS_CONTROL_PATH_NS = (
+    DRIVER_INIT_NS
+    + CREATE_CQ_NS
+    + CREATE_QP_NS
+    + HANDSHAKE_NS
+    + CREATE_QP_NS  # waiting for the server's create_qp before its reply
+    + MODIFY_RTR_NS
+    + MODIFY_RTS_NS
+)
+assert VERBS_CONTROL_PATH_NS == 15_700 * US
+
+#: Expected client-observed per-connection latency for (optimized) LITE.
+LITE_CONTROL_PATH_NS = (
+    CREATE_QP_NS + HANDSHAKE_NS + CREATE_QP_NS + MODIFY_RTR_NS + MODIFY_RTS_NS
+)
+
+#: Serialized RNIC command-processor occupancy per accepted connection
+#: (hardware part of create_qp + both modify_qp calls): the server-side
+#: ceiling of Fig 8a (paper: 712 QP/s; model: ~722 QP/s).
+QP_SETUP_HW_SERVICE_NS = CREATE_QP_HW_NS + MODIFY_RTR_NS + MODIFY_RTS_NS
+
+#: Registering memory is cheap: "registering 4MB only takes 1.4us" (§5.1).
+REG_MR_BASE_NS = 400
+REG_MR_NS_PER_MB = 250
+
+# ---------------------------------------------------------------------------
+# KRCORE (Figs 8, 12)
+# ---------------------------------------------------------------------------
+
+#: One user/kernel crossing ("~1 us overhead communicating with the kernel").
+SYSCALL_NS = 900
+
+#: One DrTM-KV lookup from the meta server = 2 one-sided READs; qconnect
+#: uncached = syscall + lookup = 0.9 + 4.5 = 5.4 us (Fig 8a).
+META_KV_READS_PER_LOOKUP = 2
+META_KV_READ_RTT_NS = 2_250
+
+#: Responder occupancy at the meta server per KV READ.  Calibrated to the
+#: 22M conn/s ceiling at 240 clients (2 READs per connect => 44M READ/s).
+META_KV_READ_SERVICE_NS = 22.5
+
+#: Algorithm-2 integrity checks per request ("+Checks ... trivial, <0.5us").
+VIRTUALIZATION_CHECK_NS = 120
+
+#: Remote MR validation on an MRStore miss: +4.5 us (Fig 12a).
+MR_CHECK_MISS_NS = 4_500
+
+#: MRStore/DCCache lease period: cached MRs flushed every second (§4.2).
+MR_LEASE_NS = 1_000 * MS
+
+#: Kernel memcpy for dispatching two-sided payloads to user buffers
+#: (~4 GB/s effective on cold buffers; significant above 16 KB, Fig 9b).
+MEMCPY_NS_PER_BYTE = 0.25
+
+#: Default kernel pre-posted receive buffer size (zero-copy kicks in above).
+KERNEL_RECV_BUFFER_BYTES = 4_096
+
+# ---------------------------------------------------------------------------
+# Elastic applications (Fig 16, §5.3.1)
+# ---------------------------------------------------------------------------
+
+#: Spawning one RACE worker process (fork+exec+runtime init), serialized
+#: per node's spawner.  26 workers/node x 9.4 ms = ~244 ms: the KRCORE
+#: bootstrap time of Fig 16, which is process-creation-bound.
+PROCESS_SPAWN_NS = 9_400 * US
+
+# ---------------------------------------------------------------------------
+# FaSST-style RPC baseline for metadata queries (Fig 9a)
+# ---------------------------------------------------------------------------
+
+#: Per-query CPU at the (single) RPC kernel thread.  22M / 11.8 = ~1.86M/s.
+RPC_HANDLER_CPU_NS = 537
+
+#: UD send/recv fixed costs for the RPC round.
+UD_SEND_NS = 300
+UD_RECV_NS = 300
+
+# ---------------------------------------------------------------------------
+# Memory accounting (Fig 15a)
+# ---------------------------------------------------------------------------
+
+SQ_ENTRY_BYTES = 448
+SQ_DEPTH_DEFAULT = 292
+CQ_ENTRY_BYTES = 64
+CQ_DEPTH_DEFAULT = 257
+
+#: KRCORE's DCQPs use a shallower CQ (they are multiplexed in the kernel).
+DC_CQ_DEPTH = 101
+
+#: Minimum hardware queue allocation (one page).
+HW_QUEUE_GRANULARITY = 4_096
+
+
+def round_to_hw(nbytes):
+    """Round a queue buffer up to the hardware allocation granularity.
+
+    The driver rounds queue buffers to the next power of two (at least one
+    page) -- the "round queues to fit the hardware granularity" behaviour of
+    the paper's footnote 3, which turns 292x448B + 257x64B into ~160 KB.
+    """
+    size = HW_QUEUE_GRANULARITY
+    while size < nbytes:
+        size *= 2
+    return size
+
+
+def rc_qp_memory_bytes(sq_depth=SQ_DEPTH_DEFAULT, cq_depth=CQ_DEPTH_DEFAULT):
+    """Driver memory for one RCQP: paper footnote 3 => >= 159 KB."""
+    return round_to_hw(sq_depth * SQ_ENTRY_BYTES) + round_to_hw(cq_depth * CQ_ENTRY_BYTES)
+
+
+def dc_qp_memory_bytes(sq_depth=SQ_DEPTH_DEFAULT, cq_depth=DC_CQ_DEPTH):
+    """Driver memory for one kernel DCQP (shallower CQ)."""
+    return round_to_hw(sq_depth * SQ_ENTRY_BYTES) + round_to_hw(cq_depth * CQ_ENTRY_BYTES)
+
+
+def reg_mr_ns(nbytes):
+    """Latency of registering ``nbytes`` of memory."""
+    return int(REG_MR_BASE_NS + REG_MR_NS_PER_MB * (nbytes / (1 << 20)))
+
+
+def wire_transfer_ns(nbytes):
+    """Serialization time for ``nbytes`` on the 100 Gbps wire."""
+    return int(nbytes * WIRE_NS_PER_BYTE)

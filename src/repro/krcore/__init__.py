@@ -1,0 +1,24 @@
+"""KRCORE: a microsecond-scale RDMA control plane (the paper's contribution).
+
+The package mirrors the paper's §4 design:
+
+* :mod:`repro.krcore.meta`       -- DCT metadata + ValidMR meta servers
+  backed by DrTM-KV, queried with one-sided READs (§4.2, C#1);
+* :mod:`repro.krcore.pool`       -- the per-CPU hybrid RC/DC QP pool (§4.2);
+* :mod:`repro.krcore.mrstore`    -- MR validation bookkeeping with
+  lease-based cache invalidation (§4.2);
+* :mod:`repro.krcore.vqp`        -- virtual QPs: Algorithm 1 (creation and
+  connection) and Algorithm 2 (post_send / poll_cq virtualization, §4.3-4.4),
+  the zero-copy protocol (§4.5), and the QP transfer protocol (§4.6);
+* :mod:`repro.krcore.module`     -- the per-node "loadable kernel module"
+  wiring it together: receive dispatch, kernel messaging, background RCQP
+  creation with LRU reclaim (§4.3), and boot-time broadcast;
+* :mod:`repro.krcore.api`        -- the user-space shim: qconnect / qbind /
+  qpop_msgs plus the verbs data-path calls (§4.1, Fig 7).
+"""
+
+from repro.krcore.api import KrcoreError, KrcoreLib
+from repro.krcore.meta import MetaServer
+from repro.krcore.module import KrcoreModule
+
+__all__ = ["KrcoreError", "KrcoreLib", "KrcoreModule", "MetaServer"]

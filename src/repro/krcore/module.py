@@ -1,0 +1,836 @@
+"""The per-node KRCORE kernel module (§3.2 architecture).
+
+Owns the per-CPU hybrid QP pools, the DCCache, ValidMR/MRStore, the
+kernel receive machinery (buffer pool, dispatchers, port queues), the
+wr_id token table that Algorithm 2's dispatch relies on, and the kernel
+control channel used by the QP transfer protocol and MR publication.
+"""
+
+from collections import deque
+
+from repro.cluster import timing
+from repro.krcore.meta import MetaClient
+from repro.krcore.mrstore import MrStore, ValidMr
+from repro.krcore.pool import HybridQpPool
+from repro.krcore.vqp import KrcoreError, Vqp
+from repro.verbs import (
+    CompletionQueue,
+    ConnectionManager,
+    DriverContext,
+    QpType,
+    RecvBuffer,
+    WcStatus,
+    WorkRequest,
+)
+from repro.verbs.connection import rc_connect
+
+#: Reserved port for kernel-to-kernel control messages.
+KERNEL_PORT = 0
+
+#: Port the background RC creator connects to on the remote node.
+KRCORE_RC_PORT = 17
+
+
+class _MsgQueue:
+    """A deque of routed messages with event-based waiting."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.items = deque()
+        self._waiters = []
+
+    def __len__(self):
+        return len(self.items)
+
+    def append(self, item):
+        self.items.append(item)
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.trigger(None)
+
+    def popleft(self):
+        return self.items.popleft()
+
+    def wait(self):
+        event = self.sim.event()
+        if self.items:
+            event.trigger(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+
+class _Token:
+    """Decoded wr_id payload: the dispatch info Algorithm 2 encodes."""
+
+    __slots__ = ("vqp", "covers", "entry", "event")
+
+    def __init__(self, vqp, covers, entry, event):
+        self.vqp = vqp
+        self.covers = covers
+        self.entry = entry
+        self.event = event
+
+
+class KrcoreModule:
+    """One node's loadable KRCORE kernel module."""
+
+    SERVICE = "krcore"
+
+    def __init__(
+        self,
+        node,
+        meta_server,
+        dc_per_cpu=2,
+        max_rc_per_cpu=32,
+        kernel_buf_bytes=timing.KERNEL_RECV_BUFFER_BYTES,
+        kernel_buf_count=256,
+        zero_copy=True,
+        zero_copy_threshold=None,
+        background_rc=True,
+        rc_traffic_threshold=64,
+        mr_lease_ns=timing.MR_LEASE_NS,
+        charge_checks=True,
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.meta_server = meta_server
+        self.context = DriverContext(node, kernel=True)
+        self.zero_copy = zero_copy
+        self.kernel_buf_bytes = kernel_buf_bytes
+        self.zero_copy_threshold = (
+            kernel_buf_bytes if zero_copy_threshold is None else zero_copy_threshold
+        )
+        self.background_rc = background_rc
+        self.rc_traffic_threshold = rc_traffic_threshold
+        #: Ablation hook (Fig 12a): charge Algorithm 2's integrity checks?
+        self.charge_checks = charge_checks
+
+        self.valid_mr = ValidMr(node)
+        self.mr_store = MrStore(self, lease_ns=mr_lease_ns)
+        self.dc_cache = {}  # gid -> (dct_number, dct_key)
+
+        # --- boot: DCT target + its shared receive machinery (§4.2) ---
+        self.dct_target = node.rnic.create_dct_target(dc_key=_stable_key(node.gid))
+        self.dct_target.recv_cq = CompletionQueue(self.sim)
+
+        # --- kernel receive buffer pool ---
+        base = node.memory.alloc(kernel_buf_bytes * kernel_buf_count)
+        self._buf_base = base
+        self._buf_region = node.memory.register(base, kernel_buf_bytes * kernel_buf_count)
+        self._free_slots = deque(range(kernel_buf_count))
+        # Stock the SRQ deep (keeping a small reserve for kernel RCQPs):
+        # §4.4 assumes "the pre-posted buffers can always hold the
+        # incoming message", so deployments size kernel_buf_count for
+        # their expected in-flight message burst.
+        reserve = min(64, kernel_buf_count // 4)
+        for _ in range(kernel_buf_count - reserve):
+            self._post_kernel_buffer(self.dct_target.post_srq)
+        self.sim.process(
+            self._recv_dispatcher(self.dct_target.recv_cq, self.dct_target.post_srq),
+            name=f"krcore-dispatch-dct@{node.gid}",
+        )
+
+        # --- per-CPU hybrid pools (§4.2), DCQPs built at module load ---
+        self._pools = []
+        for cpu in range(node.cores):
+            dc_qps = []
+            for _ in range(dc_per_cpu):
+                cq = CompletionQueue(self.sim)
+                qp = self.context.create_qp_fast(QpType.DC, cq, recv_cq=None)
+                qp.to_init()
+                qp.to_rtr()
+                qp.to_rts()
+                dc_qps.append(qp)
+            self._pools.append(HybridQpPool(self.sim, cpu, dc_qps, max_rc=max_rc_per_cpu))
+
+        # --- meta server wiring (boot-time broadcast + pre-connect) ---
+        self._meta_clients = {}
+        meta_server.publish_dct(node.gid, self.dct_target.number, self.dct_target.key)
+        meta_server.publish_mr(
+            node.gid, self._buf_region.rkey, self._buf_region.addr, self._buf_region.length
+        )
+        self.valid_mr.record(self._buf_region)
+        # Prime the DCCache with the meta node itself so kernel messaging
+        # never needs a bootstrap lookup.
+        meta_module = meta_server.node.services.get(self.SERVICE)
+        if meta_module is not None:
+            self.dc_cache[meta_server.node.gid] = meta_module.own_dct_meta
+
+        # --- kernel messaging, transfers, ports ---
+        self._port_queues = {}
+        self._vqps_by_id = {}
+        self._bound = {}  # port -> Vqp
+        self._next_vqp_id = 1
+        self._reply_vqps = {}  # (port, src_gid, src_vqp) -> Vqp
+        self._transfer_acks = {}  # (gid, vqp_id) -> event
+        self._connected_vqps = {}  # gid -> list of Vqps (for transfers)
+        self.sim.process(self._kernel_daemon(), name=f"krcore-kerneld@{node.gid}")
+
+        # --- background RC machinery ---
+        self._traffic = {}  # gid -> send count since RC decision
+        self._rc_creating = set()
+        manager = node.services.get(ConnectionManager.SERVICE)
+        if manager is None:
+            manager = ConnectionManager(node, self.context)
+        manager.listen(KRCORE_RC_PORT, self._on_rc_accept)
+
+        self.stats_transfers = 0
+        self.stats_meta_lookups = 0
+        self._wrid_tokens = {}
+        self._next_token = 1
+        self._repairing = set()
+        node.services[self.SERVICE] = self
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def own_dct_meta(self):
+        return (self.dct_target.number, self.dct_target.key)
+
+    def pool(self, cpu_id):
+        return self._pools[cpu_id % len(self._pools)]
+
+    def meta_client(self, cpu_id):
+        """Per-CPU pre-connected RCQP + DrTM-KV client to the meta server."""
+        key = cpu_id % len(self._pools)
+        client = self._meta_clients.get(key)
+        if client is None:
+            client = MetaClient(self.node, self.meta_server)
+            self._meta_clients[key] = client
+        return client
+
+    def create_vqp(self, cpu_id=0):
+        """vqp_create (Algorithm 1): software queues only, physical QP
+        assignment deferred to qconnect."""
+        vqp = Vqp(self, cpu_id, self._next_vqp_id)
+        self._next_vqp_id += 1
+        self._vqps_by_id[vqp.id] = vqp
+        return vqp
+
+    def register_connected_vqp(self, vqp):
+        self._connected_vqps.setdefault(vqp.remote_gid, [])
+        if vqp not in self._connected_vqps[vqp.remote_gid]:
+            self._connected_vqps[vqp.remote_gid].append(vqp)
+
+    def bind(self, port, vqp):
+        """qbind: accept two-sided connections on ``port``."""
+        if port == KERNEL_PORT:
+            raise KrcoreError("port 0 is reserved for the kernel")
+        if port in self._bound:
+            raise KrcoreError(f"port {port} already bound")
+        self._bound[port] = vqp
+        vqp.bound_port = port
+
+    def unbind(self, port):
+        """Release a bound port (the VQP keeps working for sends)."""
+        vqp = self._bound.pop(port, None)
+        if vqp is not None:
+            vqp.bound_port = None
+
+    # ------------------------------------------------------------- MR handling
+
+    def reg_mr(self, addr, length):
+        """Process: register memory, record it in ValidMR, and publish the
+        record to the meta server so remote nodes can validate against it."""
+        yield timing.reg_mr_ns(length)
+        region = self.node.memory.register(addr, length)
+        self.valid_mr.record(region)
+        self.sim.process(
+            self._publish_mr(region), name=f"krcore-publish-mr@{self.node.gid}"
+        )
+        return region
+
+    def _publish_mr(self, region):
+        yield from self.send_kernel_msg(
+            self.meta_server.node.gid,
+            {
+                "type": "publish_mr",
+                "gid": self.node.gid,
+                "rkey": region.rkey,
+                "addr": region.addr,
+                "len": region.length,
+            },
+        )
+
+    def dereg_mr(self, region):
+        """Process: deregister -- but only free the MR after one lease
+        period, so stale MRStore entries elsewhere can never hit freed
+        memory (§4.2)."""
+        self.valid_mr.forget(region)
+        yield from self.send_kernel_msg(
+            self.meta_server.node.gid,
+            {"type": "retract_mr", "gid": self.node.gid, "rkey": region.rkey},
+        )
+        self.sim.schedule(
+            self.mr_store.lease_ns, lambda: self.node.memory.deregister(region)
+        )
+
+    # ---------------------------------------------------------- wr_id tokens
+
+    def encode_wr_id(self, vqp, covers, entry=None, event=None):
+        """Encode (VQP pointer, covered slot count) into a wr_id token
+        (Algorithm 2 line 10/17)."""
+        token = self._next_token
+        self._next_token += 1
+        self._wrid_tokens[token] = _Token(vqp, covers, entry, event)
+        return token
+
+    def decode_wr_id(self, token):
+        return self._wrid_tokens.pop(token, None)
+
+    # ------------------------------------------------------------- poll_inner
+
+    def poll_inner(self, qp):
+        """Algorithm 2 lines 19-25: poll the physical CQ and dispatch.
+
+        Returns the number of physical completions processed.  Slot
+        reclamation (uncomp_cnt) happens inside CompletionQueue.poll, and
+        the encoded ``covers`` is cross-checked against the hardware's own
+        accounting.
+
+        The pre-checks keep *requests* from corrupting a shared QP, but a
+        remote failure (dead node -> retry exceeded) can still wreck it;
+        when that happens the error is dispatched to the owning VQP and a
+        background repair reconfigures the physical QP.
+        """
+        from repro.verbs.types import QpState
+
+        completions = qp.send_cq.poll(64)
+        saw_error = False
+        for wc in completions:
+            if wc.status is not WcStatus.SUCCESS:
+                saw_error = True
+            token = self.decode_wr_id(wc.wr_id)
+            if token is None:
+                continue  # forced-signal of a flushed chunk, or foreign
+            if wc.status is WcStatus.SUCCESS and token.covers != wc.covers:
+                raise AssertionError(
+                    f"covers mismatch: encoded {token.covers}, hardware {wc.covers}"
+                )
+            if token.entry is not None:
+                token.entry.ready = True
+                token.entry.status = wc.status
+            if token.event is not None and not token.event.triggered:
+                token.event.trigger(wc)
+        if saw_error and qp.state is QpState.ERR and qp not in self._repairing:
+            self._repairing.add(qp)
+            self.sim.process(self._repair_qp(qp), name=f"krcore-repair@{self.node.gid}")
+        return len(completions)
+
+    def _repair_qp(self, qp):
+        """Process: bring a wrecked pool QP back to RTS in the background
+        (drain remaining flushes, then the costly reconfiguration)."""
+        try:
+            while self.poll_inner(qp):
+                pass
+            yield from qp.reconfigure()
+        finally:
+            self._repairing.discard(qp)
+
+    # ----------------------------------------------------- kernel one-sided ops
+
+    def kernel_one_sided(self, cpu_id, gid, dct_meta, wr):
+        """Process: issue one signaled kernel-internal one-sided op through
+        the hybrid pool and wait for its completion."""
+        pool = self.pool(cpu_id)
+        if pool.has_rc(gid):
+            qp = pool.select_rc(gid)
+        else:
+            qp = pool.select_dc()
+            if dct_meta is None:
+                dct_meta = yield from self._dct_meta_for(cpu_id, gid)
+            wr.dct_gid = gid
+            wr.dct_number, wr.dct_key = dct_meta
+        event = self.sim.event()
+        wr.signaled = True
+        wr.wr_id = self.encode_wr_id(None, 1, event=event)
+        yield timing.POST_SEND_CPU_NS
+        while qp.free_slots < 1:
+            if self.poll_inner(qp) == 0:
+                yield qp.send_cq.wait()
+        qp.post_send(wr)
+        wc = yield from self._wait_token_event(qp, event)
+        return wc
+
+    def _wait_token_event(self, qp, event):
+        """Process: poll until the token's completion fires (it may also be
+        dispatched by any other VQP polling the same physical CQ)."""
+        while not event.triggered:
+            if self.poll_inner(qp) == 0:
+                yield qp.send_cq.wait()
+        return event.value
+
+    def _dct_meta_for(self, cpu_id, gid):
+        meta = self.dc_cache.get(gid)
+        if meta is None:
+            meta = yield from self.meta_client(cpu_id).lookup_dct(gid)
+            if meta is None:
+                raise KrcoreError(f"no DCT metadata for {gid}")
+            self.dc_cache[gid] = meta
+        return meta
+
+    def fence_qp(self, vqp, qp):
+        """Process: the §4.6 fence -- a fake signaled request through the
+        old physical QP; its completion implies all prior requests on that
+        QP are complete (RC FIFO)."""
+        peer_module = self._peer_module(vqp.remote_gid)
+        fence = WorkRequest.read(
+            self._buf_base,
+            8,
+            self._buf_region.lkey,
+            peer_module._buf_base,
+            peer_module._buf_region.rkey,
+        )
+        if qp.qp_type is QpType.DC:
+            meta = vqp.dct_meta
+            if meta is None:
+                meta = yield from self._dct_meta_for(vqp.cpu_id, vqp.remote_gid)
+            fence.dct_gid = vqp.remote_gid
+            fence.dct_number, fence.dct_key = meta
+        event = self.sim.event()
+        fence.signaled = True
+        fence.wr_id = self.encode_wr_id(None, 1, event=event)
+        yield timing.POST_SEND_CPU_NS
+        while qp.free_slots < 1:
+            if self.poll_inner(qp) == 0:
+                yield qp.send_cq.wait()
+        qp.post_send(fence)
+        wc = yield from self._wait_token_event(qp, event)
+        if wc.status is not WcStatus.SUCCESS:
+            raise KrcoreError(f"transfer fence failed: {wc.status}")
+
+    def _peer_module(self, gid):
+        if not self.node.fabric.has_node(gid):
+            raise KrcoreError(f"{gid} is unreachable")
+        peer = self.node.fabric.node(gid).services.get(self.SERVICE)
+        if peer is None:
+            raise KrcoreError(f"{gid} runs no KRCORE module")
+        return peer
+
+    # ------------------------------------------------------------ kernel msgs
+
+    def send_kernel_msg(self, gid, header):
+        """Process: a zero-payload two-sided message to ``gid``'s kernel."""
+        header = dict(header)
+        header.setdefault("dst_port", KERNEL_PORT)
+        header.setdefault("src_gid", self.node.gid)
+        header.setdefault("src_dct_meta", self.own_dct_meta)
+        wr = WorkRequest.send(0, 0, 0, header=header)
+        yield from self.kernel_one_sided_send(gid, wr)
+
+    def kernel_one_sided_send(self, gid, wr):
+        pool = self.pool(0)
+        if pool.has_rc(gid):
+            qp = pool.select_rc(gid)
+        else:
+            qp = pool.select_dc()
+            meta = yield from self._dct_meta_for(0, gid)
+            wr.dct_gid = gid
+            wr.dct_number, wr.dct_key = meta
+        event = self.sim.event()
+        wr.signaled = True
+        wr.wr_id = self.encode_wr_id(None, 1, event=event)
+        while qp.free_slots < 1:
+            if self.poll_inner(qp) == 0:
+                yield qp.send_cq.wait()
+        qp.post_send(wr)
+        wc = yield from self._wait_token_event(qp, event)
+        if wc.status is not WcStatus.SUCCESS:
+            raise KrcoreError(f"kernel message to {gid} failed: {wc.status}")
+
+    def _kernel_daemon(self):
+        queue = self._port_queue(KERNEL_PORT)
+        while True:
+            yield queue.wait()
+            while len(queue):
+                msg = queue.popleft()
+                self._release_slot(msg)
+                self.sim.process(
+                    self._handle_kernel_msg(msg["header"]),
+                    name=f"krcore-kmsg@{self.node.gid}",
+                )
+
+    def _handle_kernel_msg(self, header):
+        kind = header.get("type")
+        if kind == "publish_mr":
+            if self.meta_server.node is not self.node:
+                raise KrcoreError("publish_mr sent to a non-meta node")
+            self.meta_server.publish_mr(
+                header["gid"], header["rkey"], header["addr"], header["len"]
+            )
+        elif kind == "retract_mr":
+            self.meta_server.retract_mr(header["gid"], header["rkey"])
+        elif kind == "transfer":
+            yield from self._handle_peer_transfer(header)
+            return
+        elif kind == "transfer_ack":
+            event = self._transfer_acks.pop(
+                (header["src_gid"], header["to_vqp"]), None
+            )
+            if event is not None and not event.triggered:
+                event.trigger(None)
+        yield 0  # all handlers are processes
+
+    #: How long to wait for a transfer acknowledgment before concluding
+    #: the peer is gone (no reply can ever arrive from a dead node).
+    TRANSFER_ACK_TIMEOUT_NS = 10 * 1_000_000
+
+    def notify_peer_transfer(self, vqp):
+        """Process: tell the two-sided peer to re-virtualize its side and
+        wait for the acknowledgment (§4.6: "For correctness, we must wait
+        for the remote acknowledgments").  A dead peer cannot ack; after a
+        timeout the transfer proceeds (its replies can never arrive on the
+        old QP either)."""
+        from repro.sim import AnyOf
+
+        gid, peer_vqp_id = vqp.peer
+        ack = self.sim.event()
+        self._transfer_acks[(gid, vqp.id)] = ack
+        try:
+            yield from self.send_kernel_msg(
+                gid,
+                {"type": "transfer", "to_vqp": peer_vqp_id, "from_vqp": vqp.id},
+            )
+        except KrcoreError:
+            # The notification itself failed (peer unreachable): give up
+            # on the ack and let the caller swap.
+            self._transfer_acks.pop((gid, vqp.id), None)
+            return
+        yield AnyOf([ack, self.sim.timeout(self.TRANSFER_ACK_TIMEOUT_NS)])
+        self._transfer_acks.pop((gid, vqp.id), None)
+
+    def _handle_peer_transfer(self, header):
+        vqp = self._vqps_by_id.get(header["to_vqp"])
+        if vqp is not None and vqp.qp is not None:
+            pool = self.pool(vqp.cpu_id)
+            if pool.has_rc(vqp.remote_gid):
+                new_qp = pool.select_rc(vqp.remote_gid)
+            else:
+                new_qp = pool.select_dc()
+                vqp.dct_meta = yield from self._dct_meta_for(vqp.cpu_id, vqp.remote_gid)
+            if new_qp is not vqp.qp:
+                yield from self.fence_qp(vqp, vqp.qp)
+                vqp.qp = new_qp
+                self.stats_transfers += 1
+        yield from self.send_kernel_msg(
+            header["src_gid"],
+            {
+                "type": "transfer_ack",
+                "to_vqp": header["from_vqp"],
+            },
+        )
+
+    # --------------------------------------------------------------- receive
+
+    def _post_kernel_buffer(self, replenisher):
+        if not self._free_slots:
+            return False
+        slot = self._free_slots.popleft()
+        replenisher(
+            RecvBuffer(
+                self._buf_base + slot * self.kernel_buf_bytes,
+                self.kernel_buf_bytes,
+                self._buf_region.lkey,
+                wr_id=slot,
+            )
+        )
+        return True
+
+    def _recv_dispatcher(self, cq, replenisher):
+        """Drain one physical receive CQ, routing messages to VQPs/ports."""
+        while True:
+            yield cq.wait()
+            for wc in cq.poll(128):
+                self._route_message(wc, replenisher)
+
+    def _route_message(self, wc, replenisher):
+        header = wc.header or {}
+        msg = {
+            "header": header,
+            "slot": wc.wr_id,
+            "len": wc.byte_len,
+            "replenisher": replenisher,
+            "released": False,
+        }
+        # Keep the receive queue stocked while the slot is in use.
+        self._post_kernel_buffer(replenisher)
+        dst_vqp = header.get("dst_vqp")
+        if dst_vqp is not None:
+            vqp = self._vqps_by_id.get(dst_vqp)
+            if vqp is None:
+                self._release_slot(msg)
+                return
+            vqp.pending_msgs.append(msg)
+            self._vqp_msg_arrived(vqp)
+            return
+        port = header.get("dst_port")
+        if port is None or (port != KERNEL_PORT and port not in self._bound):
+            self._release_slot(msg)  # no receiver: drop
+            return
+        self._port_queue(port).append(msg)
+
+    def _release_slot(self, msg):
+        if msg["released"]:
+            return
+        msg["released"] = True
+        self._free_slots.append(msg["slot"])
+
+    def _port_queue(self, port):
+        queue = self._port_queues.get(port)
+        if queue is None:
+            queue = _MsgQueue(self.sim)
+            self._port_queues[port] = queue
+        return queue
+
+    # -- waiting hooks for VQP-addressed messages --
+
+    def _vqp_msg_arrived(self, vqp):
+        waiters = getattr(vqp, "_msg_waiters", None)
+        if waiters:
+            for event in waiters:
+                if not event.triggered:
+                    event.trigger(None)
+            waiters.clear()
+
+    def vqp_msg_event(self, vqp):
+        event = self.sim.event()
+        if vqp.pending_msgs:
+            event.trigger(None)
+        else:
+            if not hasattr(vqp, "_msg_waiters"):
+                vqp._msg_waiters = []
+            vqp._msg_waiters.append(event)
+        return event
+
+    def deliver_vqp_msgs(self, vqp):
+        """Process: move messages addressed to ``vqp`` into its posted user
+        buffers, producing recv completions (copy or zero-copy)."""
+        from repro.verbs.cq import Completion
+        from repro.verbs.types import Opcode
+
+        while vqp.pending_msgs and vqp.recv_queue:
+            msg = vqp.pending_msgs.popleft()
+            user_buf = vqp.recv_queue.popleft()
+            byte_len = yield from self._land_message(vqp, msg, user_buf)
+            header = msg["header"]
+            vqp.recv_completions.append(
+                Completion(
+                    user_buf.wr_id,
+                    WcStatus.SUCCESS,
+                    Opcode.RECV,
+                    byte_len=byte_len,
+                    src=(header.get("src_gid"), header.get("src_vqp")),
+                    header=header,
+                )
+            )
+
+    def _land_message(self, vqp, msg, user_buf):
+        """Process: copy path or zero-copy READ path (§4.5)."""
+        header = msg["header"]
+        zc = header.get("zc")
+        yield timing.TWO_SIDED_SERVER_CPU_KERNEL_NS - timing.TWO_SIDED_SERVER_CPU_NS
+        if zc is not None:
+            self._release_slot(msg)  # descriptor slot freed immediately
+            if zc["len"] > user_buf.length:
+                raise KrcoreError(
+                    f"zero-copy payload of {zc['len']}B exceeds the user's "
+                    f"{user_buf.length}B receive buffer"
+                )
+            wr = WorkRequest.read(
+                user_buf.addr, zc["len"], user_buf.lkey, zc["addr"], zc["rkey"]
+            )
+            wc = yield from self.kernel_one_sided(
+                vqp.cpu_id, header["src_gid"], header.get("src_dct_meta"), wr
+            )
+            if wc.status is not WcStatus.SUCCESS:
+                raise KrcoreError(f"zero-copy READ failed: {wc.status}")
+            return zc["len"]
+        length = min(msg["len"], user_buf.length)
+        yield int(length * timing.MEMCPY_NS_PER_BYTE)
+        payload = self.node.memory.read(
+            self._buf_base + msg["slot"] * self.kernel_buf_bytes, length
+        )
+        self.node.memory.write(user_buf.addr, payload)
+        self._release_slot(msg)
+        return length
+
+    def qpop_msgs(self, vqp, max_msgs=16, cpu_id=None):
+        """Process: §4.4 qpop_msgs -- drain the bound port's messages into
+        the VQP's user buffers and hand back (reply-VQP, completion) pairs.
+
+        The reply VQP is connected with the piggybacked DCT metadata, so no
+        additional network request is ever issued.  ``cpu_id`` selects the
+        hybrid pool the reply VQPs virtualize from -- the calling thread's
+        CPU, like the real per-CPU kernel handler (§4.2).
+        """
+        if vqp.bound_port is None:
+            raise KrcoreError(f"VQP {vqp.id} is not bound; call qbind first")
+        if cpu_id is None:
+            cpu_id = vqp.cpu_id
+        queue = self._port_queue(vqp.bound_port)
+        results = []
+        while len(queue) and len(results) < max_msgs and vqp.recv_queue:
+            msg = queue.popleft()
+            user_buf = vqp.recv_queue.popleft()
+            byte_len = yield from self._land_message(vqp, msg, user_buf)
+            header = msg["header"]
+            reply_vqp = yield from self._reply_vqp(vqp, header, cpu_id)
+            from repro.verbs.cq import Completion
+            from repro.verbs.types import Opcode
+
+            results.append(
+                (
+                    reply_vqp,
+                    Completion(
+                        user_buf.wr_id,
+                        WcStatus.SUCCESS,
+                        Opcode.RECV,
+                        byte_len=byte_len,
+                        src=(header.get("src_gid"), header.get("src_vqp")),
+                        header=header,
+                    ),
+                )
+            )
+        return results
+
+    def wait_port_msg(self, vqp):
+        """Event that fires when the bound port has (or gets) a message."""
+        return self._port_queue(vqp.bound_port).wait()
+
+    def _reply_vqp(self, bound_vqp, header, cpu_id):
+        key = (bound_vqp.bound_port, header["src_gid"], header["src_vqp"])
+        vqp = self._reply_vqps.get(key)
+        if vqp is not None:
+            return vqp
+        # Piggybacked metadata primes the DCCache: the connect below never
+        # queries the meta server.
+        meta = header.get("src_dct_meta")
+        if meta is not None:
+            self.dc_cache.setdefault(header["src_gid"], tuple(meta))
+        vqp = self.create_vqp(cpu_id=cpu_id)
+        yield from vqp.connect(header["src_gid"])
+        vqp.peer = (header["src_gid"], header["src_vqp"])
+        self._reply_vqps[key] = vqp
+        return vqp
+
+    def migrate_vqp(self, vqp, new_cpu_id):
+        """Process: re-virtualize a VQP onto another CPU's pool (§4.2:
+        "In case of thread migrations, KRCORE also re-virtualizes QPs in
+        the background with a transparent QP transfer protocol")."""
+        pool = self.pool(new_cpu_id)
+        if vqp.qp is not None:
+            if vqp.remote_gid is not None and pool.has_rc(vqp.remote_gid):
+                new_qp = pool.select_rc(vqp.remote_gid)
+                yield from vqp.transfer_to(new_qp)
+            else:
+                meta = vqp.dct_meta
+                if meta is None and vqp.remote_gid is not None:
+                    meta = yield from self._dct_meta_for(new_cpu_id, vqp.remote_gid)
+                yield from vqp.transfer_to(pool.select_dc(), new_dct_meta=meta)
+        vqp.cpu_id = pool.cpu_id
+
+    # ------------------------------------------------------ background RCQPs
+
+    def note_traffic(self, gid, cpu_id, count=1):
+        """Sample outgoing traffic; kick off background RC creation for
+        frequently-contacted nodes (§4.3)."""
+        if gid is None:
+            return
+        self._traffic[gid] = self._traffic.get(gid, 0) + count
+        if not self.background_rc:
+            return
+        pool = self.pool(cpu_id)
+        if (
+            self._traffic[gid] >= self.rc_traffic_threshold
+            and not pool.has_rc(gid)
+            and (gid, pool.cpu_id) not in self._rc_creating
+        ):
+            self._rc_creating.add((gid, pool.cpu_id))
+            self.sim.process(
+                self._create_rc_background(gid, pool),
+                name=f"krcore-rc-create@{self.node.gid}",
+            )
+
+    def _create_rc_background(self, gid, pool):
+        """Process: create + configure an RCQP to ``gid`` in the background
+        (the control-path cost is off the application's critical path), then
+        transparently transfer this CPU's VQPs onto it."""
+        try:
+            send_cq = CompletionQueue(self.sim)
+            qp = yield from rc_connect(self.context, send_cq, gid, port=KRCORE_RC_PORT)
+            # Separate the recv CQ so the dispatcher never steals send
+            # completions from poll_inner.
+            qp.recv_cq = CompletionQueue(self.sim)
+            for _ in range(8):
+                self._post_kernel_buffer(qp.post_recv)
+            self.sim.process(
+                self._recv_dispatcher(qp.recv_cq, qp.post_recv),
+                name=f"krcore-dispatch-rc@{self.node.gid}",
+            )
+            evicted = pool.insert_rc(gid, qp)
+            if evicted is not None:
+                self._retire_rc(*evicted, pool)
+            for vqp in list(self._connected_vqps.get(gid, [])):
+                if vqp.cpu_id == pool.cpu_id and vqp.qp is not qp:
+                    yield from vqp.transfer_to(qp)
+        finally:
+            self._rc_creating.discard((gid, pool.cpu_id))
+
+    def _retire_rc(self, gid, qp, pool):
+        """An LRU-evicted RCQP: move its VQPs back onto DC before dropping."""
+        self.sim.process(self._retire_rc_proc(gid, qp, pool))
+
+    def _retire_rc_proc(self, gid, qp, pool):
+        for vqp in list(self._connected_vqps.get(gid, [])):
+            if vqp.qp is qp:
+                meta = yield from self._dct_meta_for(pool.cpu_id, gid)
+                yield from vqp.transfer_to(pool.select_dc(), new_dct_meta=meta)
+        self.node.rnic.unregister_qp(qp)
+
+    def _on_rc_accept(self, qp, client_gid):
+        """The remote side of background RC creation: stock the accepted QP
+        with kernel buffers and start dispatching its receives."""
+        # Own both CQs: the daemon's shared accept CQ must not mix this
+        # module's completions with other services' (LITE, apps).
+        qp.send_cq = CompletionQueue(self.sim)
+        qp.recv_cq = CompletionQueue(self.sim)
+        for _ in range(8):
+            self._post_kernel_buffer(qp.post_recv)
+        self.sim.process(
+            self._recv_dispatcher(qp.recv_cq, qp.post_recv),
+            name=f"krcore-dispatch-acc@{self.node.gid}",
+        )
+        # The accepted QP is also useful for our own traffic back.
+        pool = self.pool(_stable_key(client_gid) % len(self._pools))
+        if not pool.has_rc(client_gid):
+            pool.insert_rc(client_gid, qp)
+
+    # -------------------------------------------------------------- liveness
+
+    def invalidate_node(self, gid):
+        """Drop all cached state about a dead node (§4.2: DCT metadata is
+        invalidated only when the host is down)."""
+        self.dc_cache.pop(gid, None)
+        self.mr_store.invalidate(gid)
+        for pool in self._pools:
+            pool.drop_rc(gid)
+        if self.meta_server.node is self.node:
+            self.meta_server.retract_node(gid)
+
+    # ------------------------------------------------------------- accounting
+
+    def connection_cache_bytes(self):
+        """Memory for connection caching: the QP pools plus the 12-byte DCT
+        metadata entries (Fig 15a)."""
+        pools = sum(pool.memory_bytes() for pool in self._pools)
+        return pools + len(self.dc_cache) * timing.DCT_METADATA_BYTES
+
+
+def _stable_key(text):
+    """A deterministic small hash (Python's hash() is salted per process)."""
+    value = 0
+    for ch in text.encode():
+        value = (value * 131 + ch) % 1_000_000_007
+    return value

@@ -1,0 +1,100 @@
+"""MR validation bookkeeping: ValidMR and MRStore (§4.2).
+
+The RNIC normally validates memory keys from its own cache; once KRCORE
+multiplexes a shared QP it must do those checks in software *before*
+posting, or a bad key would wreck the shared QP (§3.1, C#3).
+
+* **ValidMR** records every locally registered MR (and publishes it to the
+  meta servers so remote nodes can validate against it).
+* **MRStore** caches validated *remote* MRs with a lease: the cache is
+  flushed at every lease boundary, and a deregistered MR is only freed
+  after one full lease has elapsed, so no cached entry can outlive the
+  registration.  (The periodic flush is implemented lazily -- an entry
+  written in epoch k is invisible from epoch k+1 on -- which is
+  behaviourally identical to the paper's periodic flush without keeping a
+  timer alive.)
+"""
+
+from repro.cluster import timing
+
+
+class ValidMr:
+    """The local registry of valid memory regions on one node."""
+
+    def __init__(self, node):
+        self.node = node
+        self._by_rkey = {}
+        self._by_lkey = {}
+
+    def record(self, region):
+        self._by_rkey[region.rkey] = region
+        self._by_lkey[region.lkey] = region
+
+    def forget(self, region):
+        self._by_rkey.pop(region.rkey, None)
+        self._by_lkey.pop(region.lkey, None)
+
+    def check_local(self, lkey, addr, length):
+        """True iff [addr, addr+length) lies in a valid local region."""
+        region = self._by_lkey.get(lkey)
+        return region is not None and region.valid and region.contains(addr, length)
+
+    def lookup_rkey(self, rkey):
+        region = self._by_rkey.get(rkey)
+        if region is None or not region.valid:
+            return None
+        return (region.addr, region.length)
+
+    def lookup_region_by_lkey(self, lkey):
+        region = self._by_lkey.get(lkey)
+        if region is None or not region.valid:
+            return None
+        return region
+
+
+class MrStore:
+    """Per-node cache of checked remote MRs, with lease-based flushing."""
+
+    def __init__(self, module, lease_ns=timing.MR_LEASE_NS):
+        self.module = module
+        self.sim = module.sim
+        self.lease_ns = lease_ns
+        self._cache = {}  # (gid, rkey) -> (epoch, (addr, length))
+        self.stats_hits = 0
+        self.stats_misses = 0
+
+    def _epoch(self):
+        return self.sim.now // self.lease_ns
+
+    def cached(self, gid, rkey):
+        """The cached (addr, length) if present and within its lease."""
+        entry = self._cache.get((gid, rkey))
+        if entry is None or entry[0] != self._epoch():
+            return None
+        return entry[1]
+
+    def check(self, gid, rkey, addr, length, cpu_id=0):
+        """Process: validate a remote access, querying ValidMR on a miss.
+
+        Returns True iff the access falls inside a known-valid remote MR.
+        A miss costs one meta-server lookup (+4.5 us, Fig 12a) through the
+        calling CPU's pre-connected meta client.
+        """
+        record = self.cached(gid, rkey)
+        if record is None:
+            self.stats_misses += 1
+            record = yield from self.module.meta_client(cpu_id).lookup_mr(gid, rkey)
+            if record is None:
+                return False
+            self._cache[(gid, rkey)] = (self._epoch(), record)
+        else:
+            self.stats_hits += 1
+        base, span = record
+        return base <= addr and addr + length <= base + span
+
+    def invalidate(self, gid, rkey=None):
+        if rkey is not None:
+            self._cache.pop((gid, rkey), None)
+            return
+        for key in [k for k in self._cache if k[0] == gid]:
+            del self._cache[key]

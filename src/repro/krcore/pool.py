@@ -1,0 +1,69 @@
+"""The hybrid QP pool: static DCQPs plus on-the-fly RCQPs (§4.2).
+
+The pool is divided per CPU to avoid lock contention; each VQP only
+virtualizes QPs from its local CPU's pool.  DCQPs are created at module
+load; RCQPs appear in the background for frequently-contacted nodes and
+are reclaimed LRU when the pool overflows.
+"""
+
+from repro.cluster import timing
+
+
+class HybridQpPool:
+    """One CPU's share of the node's QP pool."""
+
+    def __init__(self, sim, cpu_id, dc_qps, max_rc=32):
+        self.sim = sim
+        self.cpu_id = cpu_id
+        self.dc = list(dc_qps)
+        self.max_rc = max_rc
+        self._dc_next = 0
+        self.rc = {}  # gid -> QueuePair
+        self._rc_last_use = {}  # gid -> sim time of last selection
+
+    # -- selection (Algorithm 1, lines 8-11) -----------------------------------
+
+    def has_rc(self, gid):
+        return gid in self.rc
+
+    def select_rc(self, gid):
+        qp = self.rc[gid]
+        self._rc_last_use[gid] = self.sim.now
+        return qp
+
+    def select_dc(self):
+        """Round-robin over the DC QPs: reconnections to different targets
+        can then proceed concurrently (§4.2)."""
+        if not self.dc:
+            raise LookupError(f"cpu {self.cpu_id}: no DC QPs in the pool")
+        qp = self.dc[self._dc_next % len(self.dc)]
+        self._dc_next += 1
+        return qp
+
+    # -- RC lifecycle ------------------------------------------------------------
+
+    def insert_rc(self, gid, qp):
+        """Add a background-created RCQP; LRU-evict beyond ``max_rc``.
+
+        Returns the evicted (gid, qp) or None.
+        """
+        evicted = None
+        if gid not in self.rc and len(self.rc) >= self.max_rc:
+            victim = min(self._rc_last_use, key=self._rc_last_use.get)
+            evicted = (victim, self.rc.pop(victim))
+            del self._rc_last_use[victim]
+        self.rc[gid] = qp
+        self._rc_last_use[gid] = self.sim.now
+        return evicted
+
+    def drop_rc(self, gid):
+        self._rc_last_use.pop(gid, None)
+        return self.rc.pop(gid, None)
+
+    # -- accounting ----------------------------------------------------------------
+
+    def memory_bytes(self):
+        """Driver memory held by this CPU's pool (for Fig 15a)."""
+        return len(self.dc) * timing.dc_qp_memory_bytes() + len(self.rc) * (
+            timing.rc_qp_memory_bytes()
+        )

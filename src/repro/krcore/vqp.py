@@ -1,0 +1,279 @@
+"""Virtual queue pairs: Algorithms 1 and 2 of the paper (§4.3-4.4).
+
+A VQP gives an application an exclusively-owned QP abstraction while the
+kernel multiplexes many VQPs onto one shared physical QP.  Correctness
+hinges on three duties the paper spells out (§4.4):
+
+1. *detect malformed requests* before they reach the shared QP (a bad
+   opcode or memory key would move it to ERR);
+2. *prevent NIC queue overflow* -- software tracks the uncompleted count
+   and polls the physical CQ before posting when space is short;
+3. *dispatch completion events* -- the VQP identity and the number of
+   send-queue slots a signaled request covers are encoded in ``wr_id``.
+"""
+
+from collections import deque
+
+from repro.cluster import timing
+from repro.verbs.types import POSTABLE_OPCODES, Opcode, QpType, WcStatus
+
+
+class KrcoreError(Exception):
+    """A KRCORE operation was rejected (invalid request, unknown node...).
+
+    Crucially this surfaces *to the caller* -- the shared physical QP is
+    never corrupted by a bad request (§3.1, C#3).
+    """
+
+
+class CompletionEntry:
+    """One slot of a VQP's software completion queue.
+
+    Mirrors Algorithm 2's ``(NotReady, wr_id)`` pairs: created not-ready at
+    post time, flipped ready by ``poll_inner`` when the physical completion
+    is dispatched.
+    """
+
+    __slots__ = ("ready", "wr_id", "status", "opcode")
+
+    def __init__(self, wr_id, opcode):
+        self.ready = False
+        self.wr_id = wr_id
+        self.status = WcStatus.SUCCESS
+        self.opcode = opcode
+
+    @property
+    def ok(self):
+        return self.status is WcStatus.SUCCESS
+
+
+class Vqp:
+    """A kernel-side virtual QP (vqp_create of Algorithm 1)."""
+
+    def __init__(self, module, cpu_id, vqp_id):
+        self.module = module
+        self.node = module.node
+        self.sim = module.sim
+        self.id = vqp_id
+        self.cpu_id = cpu_id
+        # Algorithm 1 lines 3-5: software queues; physical QP bound later.
+        self.comp_queue = deque()
+        self.recv_queue = deque()  # user-posted RecvBuffers (ibv_post_recv)
+        self.recv_completions = deque()  # delivered two-sided completions
+        self.pending_msgs = deque()  # messages addressed to this VQP
+        self.qp = None
+        self.dct_meta = None
+        self.remote_gid = None
+        self.remote_port = None
+        self.bound_port = None
+        self.peer = None  # (gid, vqp_id) once a two-sided peering exists
+        self.stats_posted = 0
+
+    # ------------------------------------------------------------ Algorithm 1
+
+    def connect(self, gid, port=0):
+        """Process: vqp_connect -- bind a pre-initialized physical QP.
+
+        RC from the hybrid pool when available, else a DCQP plus the
+        target's DCT metadata (DCCache first, meta server on a miss).
+        """
+        if self.remote_gid is not None and self.remote_gid != gid:
+            raise KrcoreError(f"VQP {self.id} already connected to {self.remote_gid}")
+        if self.qp is None:
+            pool = self.module.pool(self.cpu_id)
+            if pool.has_rc(gid):
+                self.qp = pool.select_rc(gid)
+            else:
+                self.qp = pool.select_dc()
+                meta = self.module.dc_cache.get(gid)
+                if meta is None:
+                    meta = yield from self.module.meta_client(self.cpu_id).lookup_dct(gid)
+                    if meta is None:
+                        raise KrcoreError(f"no DCT metadata for {gid}")
+                    self.module.dc_cache[gid] = meta
+                self.dct_meta = meta
+        self.remote_gid = gid
+        self.remote_port = port
+        self.module.register_connected_vqp(self)
+        return self
+
+    @property
+    def is_rc_backed(self):
+        return self.qp is not None and self.qp.qp_type is QpType.RC
+
+    # ------------------------------------------------ Algorithm 2: post_send
+
+    def post_send(self, wr_list):
+        """Process: post_send_virtualized.
+
+        Validates every request, encodes dispatch info in wr_id, keeps the
+        shared physical queue from overflowing, and posts.  A bad request
+        raises :class:`KrcoreError` *before anything is posted*.
+        """
+        if self.qp is None:
+            raise KrcoreError(f"VQP {self.id} is not connected")
+        if isinstance(wr_list, (list, tuple)):
+            wrs = list(wr_list)
+        else:
+            wrs = [wr_list]
+        # Segment so each posted chunk fits the physical queue (§4.4).
+        depth = self.qp.sq_depth
+        index = 0
+        while index < len(wrs):
+            yield from self._post_chunk(wrs[index : index + depth])
+            index += depth
+
+    def _post_chunk(self, wrs):
+        qp = self.qp
+        module = self.module
+        # --- request integrity (lines 5-7), before anything is posted ---
+        if module.charge_checks:
+            yield timing.VIRTUALIZATION_CHECK_NS * len(wrs)
+        for wr in wrs:
+            if wr.opcode not in POSTABLE_OPCODES:
+                raise KrcoreError(f"invalid opcode {wr.opcode}")
+            skip_local = wr.opcode is Opcode.SEND and wr.length == 0
+            if not skip_local and not module.valid_mr.check_local(wr.lkey, wr.laddr, wr.length):
+                raise KrcoreError(f"invalid local MR (lkey={wr.lkey})")
+            if wr.opcode in (Opcode.READ, Opcode.WRITE, Opcode.CAS, Opcode.FETCH_ADD):
+                span = 8 if wr.opcode in (Opcode.CAS, Opcode.FETCH_ADD) else wr.length
+                ok = yield from module.mr_store.check(
+                    self.remote_gid, wr.rkey, wr.raddr, span, cpu_id=self.cpu_id
+                )
+                if not ok:
+                    raise KrcoreError(f"invalid remote MR (rkey={wr.rkey})")
+        # --- build the physical requests (lines 4-17) ---
+        phys = []
+        unsignaled_cnt = 0
+        for wr in wrs:
+            pwr = wr.clone()
+            if qp.qp_type is QpType.DC:
+                pwr.dct_gid = self.remote_gid
+                pwr.dct_number, pwr.dct_key = self.dct_meta
+            if pwr.opcode is Opcode.SEND:
+                self._prepare_send(pwr)
+            if wr.signaled:
+                entry = CompletionEntry(wr.wr_id, wr.opcode)
+                self.comp_queue.append(entry)
+                pwr.wr_id = module.encode_wr_id(self, unsignaled_cnt + 1, entry=entry)
+                unsignaled_cnt = 0
+            else:
+                pwr.wr_id = 0
+                unsignaled_cnt += 1
+            phys.append(pwr)
+        if unsignaled_cnt:
+            # Lines 15-17: force-signal the last request so the queue space
+            # of the trailing unsignaled run can be reclaimed.
+            last = phys[-1]
+            last.signaled = True
+            last.wr_id = module.encode_wr_id(None, unsignaled_cnt, entry=None)
+        # --- prevent queue overflow (lines 2-3) ---
+        yield timing.POST_SEND_CPU_NS
+        while qp.free_slots < len(phys):
+            if module.poll_inner(qp) == 0:
+                yield qp.send_cq.wait()
+        # No simulated time may pass between the capacity check and the
+        # post: the two lines below are atomic in the event loop.
+        from repro.verbs.errors import VerbsError
+
+        try:
+            qp.post_send(phys)
+        except VerbsError as err:
+            # A remote failure wrecked the shared QP under us (the kernel
+            # repairs it in the background); surface a clean error.
+            raise KrcoreError(
+                f"physical QP unavailable ({err}); retry after repair"
+            ) from err
+        self.stats_posted += len(phys)
+        module.note_traffic(self.remote_gid, self.cpu_id, len(phys))
+
+    def _prepare_send(self, pwr):
+        """Attach the piggybacked header; switch to the zero-copy protocol
+        for payloads the kernel buffers cannot (or should not) carry."""
+        module = self.module
+        header = {
+            "dst_port": self.remote_port,
+            "dst_vqp": self.peer[1] if self.peer else None,
+            "src_gid": self.node.gid,
+            "src_vqp": self.id,
+            "src_dct_meta": module.own_dct_meta,
+        }
+        if pwr.length > module.zero_copy_threshold:
+            if not module.zero_copy:
+                raise KrcoreError(
+                    f"{pwr.length}B message exceeds the kernel buffer and "
+                    "the zero-copy protocol is disabled"
+                )
+            region = module.valid_mr.lookup_region_by_lkey(pwr.lkey)
+            if region is None:
+                raise KrcoreError(f"zero-copy send from unregistered buffer (lkey={pwr.lkey})")
+            header["zc"] = {"addr": pwr.laddr, "rkey": region.rkey, "len": pwr.length}
+            pwr.length = 0  # only the descriptor message goes on the wire
+        pwr.header = header
+
+    # --------------------------------------------------- Algorithm 2: poll_cq
+
+    def poll_cq(self):
+        """poll_cq_virtualized: dispatch physical completions, then return
+        the head of the software queue if ready (non-blocking)."""
+        if self.qp is not None:
+            self.module.poll_inner(self.qp)
+        if self.comp_queue and self.comp_queue[0].ready:
+            return self.comp_queue.popleft()
+        return None
+
+    def wait_send_completion(self):
+        """Process: block until the next send completion of *this* VQP."""
+        while True:
+            entry = self.poll_cq()
+            if entry is not None:
+                return entry
+            yield self.qp.send_cq.wait()
+
+    # ----------------------------------------------------------------- recv
+
+    def post_recv(self, recv_buffer):
+        """ibv_post_recv: record the buffer in the virtual recv queue."""
+        self.recv_queue.append(recv_buffer)
+
+    def poll_recv(self):
+        """Process: deliver pending messages into user buffers, then pop one
+        recv completion if available (non-blocking in the common case)."""
+        yield from self.module.deliver_vqp_msgs(self)
+        if self.recv_completions:
+            return self.recv_completions.popleft()
+        return None
+
+    def wait_recv_completion(self):
+        """Process: block until a two-sided message arrives for this VQP."""
+        while True:
+            completion = yield from self.poll_recv()
+            if completion is not None:
+                return completion
+            yield self.module.vqp_msg_event(self)
+
+    # ------------------------------------------------------ transfer protocol
+
+    def transfer_to(self, new_qp, new_dct_meta=None):
+        """Process: §4.6 -- seamlessly re-virtualize onto ``new_qp``.
+
+        FIFO is preserved by fencing the old QP with a fake signaled
+        request; a two-sided peer is notified and must acknowledge before
+        the switch (otherwise its replies would target the old QP).
+        """
+        old = self.qp
+        if old is new_qp:
+            return
+        if old is not None:
+            try:
+                yield from self.module.fence_qp(self, old)
+            except KrcoreError:
+                # The remote died: the old QP's outstanding requests can
+                # only fail, so FIFO is vacuously preserved -- swap anyway.
+                pass
+            if self.peer is not None:
+                yield from self.module.notify_peer_transfer(self)
+        self.qp = new_qp
+        if new_dct_meta is not None:
+            self.dct_meta = new_dct_meta
+        self.module.stats_transfers += 1

@@ -1,0 +1,20 @@
+"""LITE: the kernel-space RDMA baseline (Tsai & Zhang, SOSP'17).
+
+The paper compares against an *optimized* LITE (§5, "Comparing targets"):
+the original centralized cluster manager is replaced by the decentralized
+UD handshake, reaching the hardware limit of ~712 QP/s.  We model that
+optimized version, and reproduce the three issues §2.3.2 identifies:
+
+* **Issue #1** -- connecting to an uncached node still pays the full QP
+  create/configure cost (~2 ms);
+* **Issue #2** -- the connection cache holds one full RCQP (>= 159 KB) per
+  remote node, so memory grows linearly with the cluster;
+* **Issue #3** -- the high-level API hides the QP, and the kernel forwards
+  requests to shared QPs *without capacity pre-checks*: enough concurrent
+  posters overflow a QP and wreck it (LITE "fails to run with more than 6
+  threads", Fig 15b).
+"""
+
+from repro.lite.module import LiteError, LiteModule
+
+__all__ = ["LiteError", "LiteModule"]

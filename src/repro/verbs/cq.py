@@ -1,0 +1,88 @@
+"""Completion queues."""
+
+from collections import deque
+
+from repro.verbs.types import WcStatus
+
+
+class Completion:
+    """A work completion (ibv_wc)."""
+
+    __slots__ = ("wr_id", "status", "opcode", "byte_len", "src", "header", "qp", "covers")
+
+    def __init__(
+        self, wr_id, status, opcode, byte_len=0, src=None, header=None, qp=None, covers=0
+    ):
+        self.wr_id = wr_id
+        self.status = status
+        self.opcode = opcode
+        self.byte_len = byte_len
+        self.src = src  # (gid, qpn) of the sender, for recv completions
+        self.header = header  # piggybacked message header, for recv completions
+        self.qp = qp  # the QP this completion belongs to
+        #: How many send-queue slots polling this completion releases: the
+        #: signaled request itself plus any preceding unsignaled ones.  The
+        #: driver only learns that ring slots are reusable by polling -- the
+        #: accounting KRCORE's Algorithm 2 replicates in software.
+        self.covers = covers
+
+    @property
+    def ok(self):
+        return self.status is WcStatus.SUCCESS
+
+    def __repr__(self):
+        return f"Completion(wr_id={self.wr_id}, status={self.status.value}, op={self.opcode.value})"
+
+
+class CompletionQueue:
+    """A polled queue of completions with optional event-driven waiting."""
+
+    def __init__(self, sim, depth=257):
+        self.sim = sim
+        self.depth = depth
+        self._entries = deque()
+        self._waiters = deque()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def push(self, completion):
+        self._entries.append(completion)
+        while self._waiters and self._entries:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.trigger(None)
+
+    def poll(self, num_entries=1):
+        """Pop up to ``num_entries`` completions (non-blocking, like ibv_poll_cq).
+
+        Polling releases the send-queue slots the completion covers, exactly
+        as the real driver reclaims ring entries on poll.
+        """
+        polled = []
+        while self._entries and len(polled) < num_entries:
+            completion = self._entries.popleft()
+            if completion.qp is not None and completion.covers:
+                completion.qp._reclaim(completion.covers)
+            polled.append(completion)
+        return polled
+
+    def wait(self):
+        """Event that fires when the CQ is (or becomes) non-empty.
+
+        The event does not consume entries; callers must still poll().
+        """
+        event = self.sim.event()
+        if self._entries:
+            event.trigger(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def wait_poll(self, num_entries=1):
+        """Process helper: block until at least one completion, then poll."""
+        while True:
+            polled = self.poll(num_entries)
+            if polled:
+                return polled
+            yield self.wait()

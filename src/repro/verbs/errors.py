@@ -1,0 +1,18 @@
+"""Error types for the verbs layer."""
+
+
+class VerbsError(Exception):
+    """Generic misuse of the verbs API (wrong state, wrong transport...)."""
+
+
+class QpError(VerbsError):
+    """The QP is (or just entered) the ERR state."""
+
+
+class QpOverflowError(QpError):
+    """Posting exceeded the physical send-queue capacity.
+
+    Overflowing a shared QP is exactly the corruption KRCORE's Algorithm 2
+    guards against (§3.1 C#3): the QP transitions to ERR and must be fully
+    reconfigured before it can carry traffic again.
+    """

@@ -1,0 +1,419 @@
+"""Queue pairs: the RC/UD/DC transports over the simulated RNIC.
+
+The QP models both the software-visible verbs behaviour (state machine,
+post/poll semantics, error states) and the hardware timing (per-WR issue
+cost, wire time, responder occupancy, in-order completion delivery).
+
+Failure semantics reproduce what KRCORE must defend against (§3.1):
+
+* a malformed work request (bad opcode, invalid local/remote key, out of
+  bounds) generates an error completion and moves the QP to ERR;
+* posting beyond the send-queue capacity (slots are only reclaimed when
+  completions are *polled*) moves the QP to ERR;
+* an ERR QP refuses all traffic until fully reconfigured, which costs a
+  trip through the RNIC command processor.
+"""
+
+from collections import deque
+
+from repro.cluster import timing
+from repro.cluster.memory import MemoryError_
+from repro.sim import Store
+from repro.verbs.cq import Completion
+from repro.verbs.errors import QpError, QpOverflowError, VerbsError
+from repro.verbs.types import POSTABLE_OPCODES, Opcode, QpState, QpType, WcStatus
+
+
+class DctTarget:
+    """A responder-side DCT context (identified by number + key, §3.1 C#1).
+
+    Creating one is cheap -- no per-connection hardware queues.  Inbound
+    one-sided ops validate the key; inbound SENDs consume buffers from the
+    target's shared receive queue and complete into ``recv_cq``.
+    """
+
+    __slots__ = ("node", "number", "key", "srq", "recv_cq")
+
+    def __init__(self, node, number, key):
+        self.node = node
+        self.number = number
+        self.key = key
+        self.srq = deque()
+        self.recv_cq = None
+
+    @property
+    def metadata(self):
+        """The 12-byte DCT metadata tuple stored at the meta server (§4.2)."""
+        return (self.number, self.key)
+
+    def post_srq(self, recv_buffer):
+        self.srq.append(recv_buffer)
+
+
+class QueuePair:
+    """One queue pair (send queue + completion queues + state machine)."""
+
+    def __init__(
+        self,
+        node,
+        qp_type,
+        send_cq,
+        recv_cq=None,
+        sq_depth=timing.SQ_DEPTH_DEFAULT,
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.qp_type = qp_type
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.sq_depth = sq_depth
+        self.qpn = node.rnic.register_qp(self)
+        self.state = QpState.RESET
+        self.remote = None  # (gid, qpn) once RC-connected
+        self._sq = Store(self.sim)
+        self._posted = 0
+        self._reclaimed = 0
+        self._pending_unsignaled = 0
+        self._recv_buffers = deque()
+        self._last_done = None  # tail of the in-order completion chain
+        self._dc_current = None  # (gid, dct_number) the DC QP is wired to
+        self._dc_retargets = 0
+        self._dc_last_retarget_ns = -(10 ** 12)
+        self._dc_lcg = self.qpn * 2654435761 % (1 << 64) or 1
+        self.stats_reconnects = 0
+        self.sim.process(self._sender_loop(), name=f"qp{self.qpn}-sender")
+
+    # ------------------------------------------------------------------ state
+
+    def to_init(self):
+        self._require_state(QpState.RESET)
+        self.state = QpState.INIT
+
+    def to_rtr(self, remote=None):
+        self._require_state(QpState.INIT)
+        if self.qp_type is QpType.RC:
+            if remote is None:
+                raise VerbsError("RC RTR requires the remote (gid, qpn)")
+            self.remote = remote
+        self.state = QpState.RTR
+
+    def to_rts(self):
+        self._require_state(QpState.RTR)
+        self.state = QpState.RTS
+
+    def _require_state(self, expected):
+        if self.state is not expected:
+            raise VerbsError(f"QP {self.qpn}: expected {expected}, is {self.state}")
+
+    def reset(self):
+        """Drop back to RESET (software part of error recovery)."""
+        self.state = QpState.RESET
+        self.remote = None
+        self._dc_current = None
+        while True:
+            stale = self._sq.try_get()
+            if stale is None:
+                break
+        self._posted = self._reclaimed = 0
+        self._pending_unsignaled = 0
+
+    def reconfigure(self, remote=None):
+        """Process: full recovery from ERR -- reset + RTR + RTS through the
+        RNIC command processor.  This is the cost KRCORE avoids by never
+        letting a shared QP enter ERR (§3.1 C#3)."""
+        if remote is None:
+            remote = self.remote
+        self.reset()
+        yield from self.node.rnic.command(timing.MODIFY_RTR_NS + timing.MODIFY_RTS_NS)
+        self.to_init()
+        self.to_rtr(remote if self.qp_type is QpType.RC else None)
+        self.to_rts()
+
+    @property
+    def outstanding(self):
+        """Send-queue slots held: posted but not yet reclaimed by polling."""
+        return self._posted - self._reclaimed
+
+    @property
+    def free_slots(self):
+        return self.sq_depth - self.outstanding
+
+    def _reclaim(self, covers):
+        self._reclaimed += covers
+        if self._reclaimed > self._posted:
+            raise VerbsError(f"QP {self.qpn}: reclaimed more slots than posted")
+
+    # ------------------------------------------------------------------ post
+
+    def post_send(self, wr_list):
+        """Post WRs (non-blocking, like ibv_post_send).
+
+        Raises :class:`QpOverflowError` (and wrecks the QP) if the list does
+        not fit in the free send-queue slots -- the overflow hazard of
+        sharing a QP without KRCORE's pre-checks.
+        """
+        if isinstance(wr_list, (list, tuple)):
+            wrs = list(wr_list)
+        else:
+            wrs = [wr_list]
+        if not wrs:
+            return
+        if self.state is QpState.ERR:
+            raise QpError(f"QP {self.qpn} is in ERR")
+        if self.state is not QpState.RTS:
+            raise VerbsError(f"QP {self.qpn}: post_send in state {self.state}")
+        if len(wrs) > self.free_slots:
+            self._enter_error()
+            raise QpOverflowError(
+                f"QP {self.qpn}: posting {len(wrs)} WRs with {self.free_slots} free slots"
+            )
+        self._posted += len(wrs)
+        for wr in wrs:
+            self._sq.put(wr)
+
+    def post_recv(self, recv_buffer):
+        self._recv_buffers.append(recv_buffer)
+
+    # ------------------------------------------------------------- NIC side
+
+    def _sender_loop(self):
+        """The NIC's per-QP work-queue processor: issues WRs in order."""
+        while True:
+            wr = yield self._sq.get()
+            if self.state is QpState.ERR:
+                self._complete(wr, WcStatus.FLUSH_ERR)
+                continue
+            if self.qp_type is QpType.DC:
+                yield from self._dc_retarget(wr)
+            yield timing.NIC_TX_NS
+            done = self.sim.event()
+            prev, self._last_done = self._last_done, done
+            self.sim.process(self._flight(wr, prev, done), name=f"qp{self.qpn}-flight")
+
+    def _dc_retarget(self, wr):
+        """Hardware-offloaded DCT (re)connection before issuing ``wr``.
+
+        A small deterministic fraction of reconnections (one in
+        DCT_RECONNECT_TAIL_EVERY, drawn from a per-QP LCG so it is
+        reproducible yet uniform in time) needs an extra network round --
+        the source of DC's 99.9th-percentile tail (Fig 14b).
+        """
+        target = (wr.dct_gid, wr.dct_number)
+        if target == self._dc_current:
+            return
+        self._dc_current = target
+        self._dc_retargets += 1
+        self.stats_reconnects += 1
+        delay = timing.DCT_RECONNECT_NS
+        if self.sim.now - self._dc_last_retarget_ns < timing.DCT_RECONNECT_BUSY_WINDOW_NS:
+            delay += timing.DCT_RECONNECT_BUSY_NS  # teardown not drained yet
+        self._dc_last_retarget_ns = self.sim.now
+        self._dc_lcg = (self._dc_lcg * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        if (self._dc_lcg >> 33) % timing.DCT_RECONNECT_TAIL_EVERY == 0:
+            delay += timing.DCT_RECONNECT_TAIL_NS
+        yield delay
+
+    def _flight(self, wr, prev_done, done):
+        """One WR's life on the network, ending with in-order completion."""
+        status = WcStatus.SUCCESS
+        byte_len = 0
+        try:
+            if wr.opcode not in POSTABLE_OPCODES:
+                raise _Malformed(WcStatus.BAD_OPCODE_ERR)
+            payload = self._fetch_local(wr)
+            remote_gid = self._remote_gid(wr)
+            request_bytes = timing.REQUEST_HEADER_BYTES
+            if wr.opcode in (Opcode.WRITE, Opcode.SEND):
+                request_bytes += wr.length
+            wire_out = self.node.fabric.one_way_ns(request_bytes)
+            if wr.opcode is Opcode.WRITE:
+                wire_out += int(wr.length * timing.WRITE_EXTRA_NS_PER_BYTE)
+            yield wire_out
+            remote_node = self._resolve_remote(remote_gid, wr)
+            response_bytes = yield from self._execute_remote(remote_node, wr, payload)
+            yield self.node.fabric.one_way_ns(response_bytes)
+            yield timing.NIC_RX_COMPLETION_NS
+            byte_len = wr.length
+        except _UdDrop:
+            # Unreliable datagram: the packet vanished; the sender still
+            # completes successfully and never learns.
+            yield timing.NIC_RX_COMPLETION_NS
+        except _Malformed as malformed:
+            status = malformed.status
+            # The NAK still travels back before the requester learns of it.
+            yield self.node.fabric.one_way_ns(0)
+            yield timing.NIC_RX_COMPLETION_NS
+        # Deliver completions in posting order (RC FIFO, §4.6).
+        if prev_done is not None and not prev_done.triggered:
+            yield prev_done
+        if self.state is QpState.ERR and status is WcStatus.SUCCESS:
+            # A preceding request wrecked the QP: this one's remote effects
+            # stand, but it completes flushed, like outstanding WRs on a
+            # real NIC after an error.
+            self._complete(wr, WcStatus.FLUSH_ERR)
+        elif status is WcStatus.SUCCESS:
+            self._complete(wr, status, byte_len)
+        else:
+            self._complete(wr, status)
+            self._enter_error()
+        done.trigger(None)
+
+    def _fetch_local(self, wr):
+        """Validate the local SGE; return outbound payload bytes if any."""
+        if wr.length == 0 and wr.opcode is Opcode.SEND:
+            return b""
+        try:
+            self.node.memory.check_local(wr.lkey, wr.laddr, wr.length)
+        except MemoryError_ as err:
+            raise _Malformed(WcStatus.LOC_PROT_ERR) from err
+        if wr.opcode in (Opcode.WRITE, Opcode.SEND):
+            return self.node.memory.read(wr.laddr, wr.length)
+        return None
+
+    def _remote_gid(self, wr):
+        if self.qp_type is QpType.RC:
+            if self.remote is None:
+                raise _Malformed(WcStatus.RETRY_EXC_ERR)
+            return self.remote[0]
+        # UD and DC address per work request.
+        if wr.dct_gid is None:
+            raise _Malformed(WcStatus.BAD_OPCODE_ERR)
+        return wr.dct_gid
+
+    def _resolve_remote(self, gid, wr):
+        if not self.node.fabric.has_node(gid):
+            if self.qp_type is QpType.UD:
+                raise _UdDrop()
+            raise _Malformed(WcStatus.RETRY_EXC_ERR)
+        node = self.node.fabric.node(gid)
+        if self.qp_type is QpType.DC:
+            target = node.rnic.dct_target(wr.dct_number)
+            if target is None or target.key != wr.dct_key:
+                raise _Malformed(WcStatus.REM_ACCESS_ERR)
+        return node
+
+    def _execute_remote(self, remote_node, wr, payload):
+        """Responder-side processing.  Returns the response payload size."""
+        rnic = remote_node.rnic
+        memory = remote_node.memory
+        try:
+            if wr.opcode is Opcode.READ:
+                service = timing.READ_RESPONDER_SERVICE_NS
+                service += timing.responder_payload_service_ns(wr.length)
+                if self.qp_type is QpType.DC:
+                    service += timing.DC_READ_SERVICE_EXTRA_NS
+                yield from rnic.serve_inbound(service)
+                yield timing.NIC_RESPONDER_PIPELINE_NS
+                memory.check_remote(wr.rkey, wr.raddr, wr.length, write=False)
+                data = memory.read(wr.raddr, wr.length)
+                self.node.memory.write(wr.laddr, data)
+                return wr.length
+            if wr.opcode is Opcode.WRITE:
+                service = timing.WRITE_RESPONDER_SERVICE_NS
+                service += timing.responder_payload_service_ns(wr.length)
+                if self.qp_type is QpType.DC:
+                    service += timing.DC_WRITE_SERVICE_EXTRA_NS
+                yield from rnic.serve_inbound(service)
+                yield timing.NIC_RESPONDER_PIPELINE_NS
+                memory.check_remote(wr.rkey, wr.raddr, wr.length, write=True)
+                memory.write(wr.raddr, payload)
+                return 0
+            if wr.opcode in (Opcode.CAS, Opcode.FETCH_ADD):
+                yield from rnic.serve_inbound(timing.ATOMIC_RESPONDER_SERVICE_NS)
+                yield timing.NIC_RESPONDER_PIPELINE_NS
+                memory.check_remote(wr.rkey, wr.raddr, 8, write=True)
+                old = int.from_bytes(memory.read(wr.raddr, 8), "big")
+                if wr.opcode is Opcode.CAS:
+                    if old == wr.compare:
+                        memory.write(wr.raddr, wr.swap.to_bytes(8, "big"))
+                else:
+                    memory.write(wr.raddr, ((old + wr.compare) % (1 << 64)).to_bytes(8, "big"))
+                self.node.memory.write(wr.laddr, old.to_bytes(8, "big"))
+                return 8
+            # SEND
+            yield from rnic.serve_inbound(timing.SEND_RESPONDER_SERVICE_NS)
+            yield timing.NIC_RESPONDER_PIPELINE_NS
+            yield from self._deliver_send(remote_node, wr, payload)
+            return 0
+        except MemoryError_ as err:
+            if self.qp_type is QpType.UD:
+                raise _UdDrop() from err
+            raise _Malformed(WcStatus.REM_ACCESS_ERR) from err
+
+    def _deliver_send(self, remote_node, wr, payload):
+        """Land an inbound SEND in the receiver's queue (or SRQ for DCT)."""
+        if self.qp_type is QpType.DC:
+            target = remote_node.rnic.dct_target(wr.dct_number)
+            buffers, cq, receiver_qp = target.srq, target.recv_cq, None
+        else:
+            receiver_qp = remote_node.rnic.qp(self._receiver_qpn(wr))
+            if receiver_qp is None:
+                raise _Malformed(WcStatus.RETRY_EXC_ERR)
+            buffers, cq = receiver_qp._recv_buffers, receiver_qp.recv_cq
+        if not buffers or cq is None:
+            if self.qp_type is QpType.UD:
+                raise _UdDrop()
+            raise _Malformed(WcStatus.RNR_ERR)
+        recv_buffer = buffers[0]
+        if len(payload) > recv_buffer.length:
+            if self.qp_type is QpType.UD:
+                raise _UdDrop()
+            raise _Malformed(WcStatus.RNR_ERR)
+        buffers.popleft()
+        if payload:
+            yield timing.SEND_DELIVERY_NS
+        else:
+            yield timing.SEND_DELIVERY_HEADER_NS
+        remote_node.memory.write(recv_buffer.addr, payload)
+        cq.push(
+            Completion(
+                recv_buffer.wr_id,
+                WcStatus.SUCCESS,
+                Opcode.RECV,
+                byte_len=len(payload),
+                src=(self.node.gid, self.qpn),
+                header=wr.header,
+                qp=receiver_qp,
+            )
+        )
+
+    def _receiver_qpn(self, wr):
+        if self.qp_type is QpType.RC:
+            return self.remote[1]
+        return wr.dct_number  # UD: dct_number doubles as the target QPN
+
+    # ------------------------------------------------------------ completion
+
+    def _complete(self, wr, status, byte_len=0):
+        """Generate (or account) the completion for a finished WR."""
+        if status is WcStatus.SUCCESS and not wr.signaled:
+            self._pending_unsignaled += 1
+            return
+        covers = self._pending_unsignaled + 1
+        self._pending_unsignaled = 0
+        self.send_cq.push(
+            Completion(wr.wr_id, status, wr.opcode, byte_len=byte_len, qp=self, covers=covers)
+        )
+
+    def _enter_error(self):
+        if self.state is QpState.ERR:
+            return
+        self.state = QpState.ERR
+        # Flush everything still queued in the send queue.
+        while True:
+            stale = self._sq.try_get()
+            if stale is None:
+                break
+            self._complete(stale, WcStatus.FLUSH_ERR)
+
+
+class _Malformed(Exception):
+    """Internal: a WR failed validation; carries the completion status."""
+
+    def __init__(self, status):
+        super().__init__(status)
+        self.status = status
+
+
+class _UdDrop(Exception):
+    """Internal: a UD packet was silently dropped (unreliable transport)."""

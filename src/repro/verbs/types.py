@@ -1,0 +1,40 @@
+"""Enumerations mirroring the verbs API's constants."""
+
+import enum
+
+
+class QpType(enum.Enum):
+    RC = "RC"  # reliable connected
+    UD = "UD"  # unreliable datagram
+    DC = "DC"  # dynamically connected (initiator side)
+
+
+class QpState(enum.Enum):
+    RESET = "RESET"
+    INIT = "INIT"
+    RTR = "RTR"  # ready to receive
+    RTS = "RTS"  # ready to send
+    ERR = "ERR"
+
+
+class Opcode(enum.Enum):
+    READ = "READ"
+    WRITE = "WRITE"
+    SEND = "SEND"
+    CAS = "CAS"  # compare-and-swap, 8 bytes
+    FETCH_ADD = "FETCH_ADD"  # fetch-and-add, 8 bytes
+    RECV = "RECV"  # appears only in completions
+
+
+class WcStatus(enum.Enum):
+    SUCCESS = "SUCCESS"
+    LOC_PROT_ERR = "LOC_PROT_ERR"  # bad local key / bounds
+    REM_ACCESS_ERR = "REM_ACCESS_ERR"  # bad rkey / bounds / permission
+    BAD_OPCODE_ERR = "BAD_OPCODE_ERR"  # malformed operation code
+    FLUSH_ERR = "FLUSH_ERR"  # flushed after the QP entered ERR
+    RNR_ERR = "RNR_ERR"  # receiver not ready (no recv buffer)
+    RETRY_EXC_ERR = "RETRY_EXC_ERR"  # remote unreachable (node dead)
+
+
+#: Opcodes a requester may post (RECV is completion-only).
+POSTABLE_OPCODES = frozenset({Opcode.READ, Opcode.WRITE, Opcode.SEND, Opcode.CAS, Opcode.FETCH_ADD})

@@ -1,0 +1,156 @@
+"""Work requests and receive buffers."""
+
+from repro.verbs.types import Opcode
+
+
+class WorkRequest:
+    """One entry for the send queue (ibv_send_wr, flattened to one SGE).
+
+    For READ/WRITE/atomics, ``laddr``/``lkey`` name the local buffer and
+    ``raddr``/``rkey`` the remote one.  For SEND, the payload is the local
+    buffer; ``header`` carries KRCORE's piggybacked metadata (sender address,
+    DCT metadata, zero-copy descriptors).
+
+    When posted on a DC QP, ``dct_gid``/``dct_number``/``dct_key`` select the
+    remote DCT target per request (§3: "the host only needs to specify the
+    target node's RDMA address and its DCT metadata in each request").
+    """
+
+    __slots__ = (
+        "opcode",
+        "wr_id",
+        "signaled",
+        "laddr",
+        "length",
+        "lkey",
+        "raddr",
+        "rkey",
+        "compare",
+        "swap",
+        "header",
+        "dct_gid",
+        "dct_number",
+        "dct_key",
+    )
+
+    def __init__(
+        self,
+        opcode,
+        wr_id=0,
+        signaled=True,
+        laddr=0,
+        length=0,
+        lkey=0,
+        raddr=0,
+        rkey=0,
+        compare=0,
+        swap=0,
+        header=None,
+        dct_gid=None,
+        dct_number=None,
+        dct_key=None,
+    ):
+        self.opcode = opcode
+        self.wr_id = wr_id
+        self.signaled = signaled
+        self.laddr = laddr
+        self.length = length
+        self.lkey = lkey
+        self.raddr = raddr
+        self.rkey = rkey
+        self.compare = compare
+        self.swap = swap
+        self.header = header
+        self.dct_gid = dct_gid
+        self.dct_number = dct_number
+        self.dct_key = dct_key
+
+    @classmethod
+    def read(cls, laddr, length, lkey, raddr, rkey, wr_id=0, signaled=True, **kwargs):
+        return cls(
+            Opcode.READ,
+            wr_id=wr_id,
+            signaled=signaled,
+            laddr=laddr,
+            length=length,
+            lkey=lkey,
+            raddr=raddr,
+            rkey=rkey,
+            **kwargs,
+        )
+
+    @classmethod
+    def write(cls, laddr, length, lkey, raddr, rkey, wr_id=0, signaled=True, **kwargs):
+        return cls(
+            Opcode.WRITE,
+            wr_id=wr_id,
+            signaled=signaled,
+            laddr=laddr,
+            length=length,
+            lkey=lkey,
+            raddr=raddr,
+            rkey=rkey,
+            **kwargs,
+        )
+
+    @classmethod
+    def send(cls, laddr, length, lkey, wr_id=0, signaled=True, header=None, **kwargs):
+        return cls(
+            Opcode.SEND,
+            wr_id=wr_id,
+            signaled=signaled,
+            laddr=laddr,
+            length=length,
+            lkey=lkey,
+            header=header,
+            **kwargs,
+        )
+
+    @classmethod
+    def cas(cls, laddr, lkey, raddr, rkey, compare, swap, wr_id=0, signaled=True, **kwargs):
+        return cls(
+            Opcode.CAS,
+            wr_id=wr_id,
+            signaled=signaled,
+            laddr=laddr,
+            length=8,
+            lkey=lkey,
+            raddr=raddr,
+            rkey=rkey,
+            compare=compare,
+            swap=swap,
+            **kwargs,
+        )
+
+    def clone(self):
+        return WorkRequest(
+            self.opcode,
+            wr_id=self.wr_id,
+            signaled=self.signaled,
+            laddr=self.laddr,
+            length=self.length,
+            lkey=self.lkey,
+            raddr=self.raddr,
+            rkey=self.rkey,
+            compare=self.compare,
+            swap=self.swap,
+            header=self.header,
+            dct_gid=self.dct_gid,
+            dct_number=self.dct_number,
+            dct_key=self.dct_key,
+        )
+
+    def __repr__(self):
+        return f"WorkRequest({self.opcode.value}, wr_id={self.wr_id}, signaled={self.signaled})"
+
+
+class RecvBuffer:
+    """One entry for the receive queue (ibv_recv_wr)."""
+
+    __slots__ = ("addr", "length", "lkey", "wr_id")
+
+    def __init__(self, addr, length, lkey, wr_id=0):
+        self.addr = addr
+        self.length = length
+        self.lkey = lkey
+        self.wr_id = wr_id

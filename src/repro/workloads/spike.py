@@ -1,0 +1,33 @@
+"""Load-spike traces, like the ones motivating elastic scaling (§5.3.1)."""
+
+from repro.sim import SEC
+
+
+class LoadSpikeTrace:
+    """A step-function offered load: ``base_rate`` until ``spike_at_ns``,
+    then ``spike_rate`` (requests/second)."""
+
+    def __init__(self, base_rate, spike_rate, spike_at_ns=0, end_ns=6 * SEC):
+        if spike_rate < base_rate:
+            raise ValueError("a spike should not lower the load")
+        self.base_rate = base_rate
+        self.spike_rate = spike_rate
+        self.spike_at_ns = spike_at_ns
+        self.end_ns = end_ns
+
+    def rate_at(self, t_ns):
+        """Offered load (requests/second) at simulated time ``t_ns``."""
+        if t_ns < self.spike_at_ns or t_ns >= self.end_ns:
+            return self.base_rate
+        return self.spike_rate
+
+    def offered_in_window(self, start_ns, end_ns):
+        """Requests offered within [start_ns, end_ns)."""
+        if end_ns <= start_ns:
+            return 0.0
+        total = 0.0
+        # Integrate the step function across the window.
+        points = sorted({start_ns, end_ns, max(start_ns, min(self.spike_at_ns, end_ns))})
+        for left, right in zip(points, points[1:]):
+            total += self.rate_at(left) * (right - left) / 1e9
+        return total

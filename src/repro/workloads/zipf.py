@@ -1,0 +1,32 @@
+"""Zipfian key sampling (the distribution YCSB uses, theta = 0.99)."""
+
+import bisect
+import random
+
+
+class ZipfGenerator:
+    """Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^theta.
+
+    Deterministic for a given seed; uses a precomputed CDF + bisect so
+    sampling is O(log n).
+    """
+
+    def __init__(self, n, theta=0.99, seed=42):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.theta = theta
+        self._rng = random.Random(seed)
+        cdf = []
+        total = 0.0
+        for rank in range(n):
+            total += 1.0 / ((rank + 1) ** theta)
+            cdf.append(total)
+        self._cdf = [value / total for value in cdf]
+
+    def sample(self):
+        point = self._rng.random()
+        return bisect.bisect_left(self._cdf, point)
+
+    def sample_many(self, count):
+        return [self.sample() for _ in range(count)]

@@ -1,0 +1,91 @@
+"""Shared fixtures and builders for the test suite."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.sim import Simulator
+from repro.verbs import CompletionQueue, DriverContext, QpType
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def cluster(sim):
+    return Cluster(sim, num_nodes=3)
+
+
+def quick_rc_pair(node_a, node_b, sq_depth=292):
+    """Wire up a ready RC QP pair without charging control-path time.
+
+    For data-plane tests where connection setup is not under test.
+    """
+    sim = node_a.sim
+    cq_a = CompletionQueue(sim)
+    cq_b = CompletionQueue(sim)
+    ctx_a = DriverContext(node_a, kernel=True)
+    ctx_b = DriverContext(node_b, kernel=True)
+    qp_a = ctx_a.create_qp_fast(QpType.RC, cq_a, recv_cq=cq_a, sq_depth=sq_depth)
+    qp_b = ctx_b.create_qp_fast(QpType.RC, cq_b, recv_cq=cq_b, sq_depth=sq_depth)
+    qp_a.to_init()
+    qp_a.to_rtr((node_b.gid, qp_b.qpn))
+    qp_a.to_rts()
+    qp_b.to_init()
+    qp_b.to_rtr((node_a.gid, qp_a.qpn))
+    qp_b.to_rts()
+    return qp_a, qp_b
+
+
+def quick_dc_qp(node, sq_depth=292):
+    """A ready DC initiator QP without control-path charges."""
+    sim = node.sim
+    cq = CompletionQueue(sim)
+    ctx = DriverContext(node, kernel=True)
+    qp = ctx.create_qp_fast(QpType.DC, cq, recv_cq=cq, sq_depth=sq_depth)
+    qp.to_init()
+    qp.to_rtr()
+    qp.to_rts()
+    return qp
+
+
+def quick_ud_qp(node, sq_depth=292):
+    """A ready UD QP without control-path charges."""
+    sim = node.sim
+    cq = CompletionQueue(sim)
+    ctx = DriverContext(node, kernel=True)
+    qp = ctx.create_qp_fast(QpType.UD, cq, recv_cq=cq, sq_depth=sq_depth)
+    qp.to_init()
+    qp.to_rtr()
+    qp.to_rts()
+    return qp
+
+
+def krcore_cluster(sim, num_nodes=4, meta_index=0, **module_kwargs):
+    """Boot a cluster with a meta server and a KRCORE module per node.
+
+    The meta node's module boots first so every other module can prime its
+    DCCache with the meta node's own DCT metadata (the boot broadcast).
+    Returns (cluster, meta_server, modules).
+    """
+    from repro.cluster import Cluster
+    from repro.krcore import KrcoreModule, MetaServer
+
+    cluster = Cluster(sim, num_nodes=num_nodes)
+    meta = MetaServer(cluster.node(meta_index))
+    order = [meta_index] + [i for i in range(num_nodes) if i != meta_index]
+    by_index = {}
+    for index in order:
+        by_index[index] = KrcoreModule(cluster.node(index), meta, **module_kwargs)
+    modules = [by_index[i] for i in range(num_nodes)]
+    return cluster, meta, modules
+
+
+def register(node, nbytes, fill=None):
+    """Allocate + register ``nbytes`` on ``node``; returns (addr, region)."""
+    addr = node.memory.alloc(nbytes)
+    region = node.memory.register(addr, nbytes)
+    if fill is not None:
+        node.memory.write(addr, bytes([fill]) * nbytes)
+    return addr, region

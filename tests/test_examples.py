@@ -1,0 +1,45 @@
+"""Every example script must keep running end to end (they are part of
+the public API surface and rot silently otherwise)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()  # every example narrates its run
+
+
+def test_bench_cli_runs_one_figure():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "fig03"],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "Fig 3" in completed.stdout
+
+
+def test_bench_cli_rejects_unknown_figure():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "fig99"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode != 0

@@ -1,0 +1,219 @@
+"""Unit tests for KRCORE's internal components: the hybrid pool, the
+meta server/client, ValidMR/MRStore, and wr_id token encoding."""
+
+import pytest
+
+from repro.cluster import Cluster, timing
+from repro.krcore.meta import MetaClient, MetaServer
+from repro.krcore.mrstore import MrStore, ValidMr
+from repro.krcore.pool import HybridQpPool
+from repro.sim import Simulator
+from tests.conftest import krcore_cluster, quick_dc_qp, quick_rc_pair
+
+
+# ---------------------------------------------------------------------------
+# HybridQpPool
+# ---------------------------------------------------------------------------
+
+
+def _pool(sim, cluster, dc_count=2, max_rc=2):
+    dc_qps = [quick_dc_qp(cluster.node(0)) for _ in range(dc_count)]
+    return HybridQpPool(sim, cpu_id=0, dc_qps=dc_qps, max_rc=max_rc)
+
+
+def test_pool_round_robins_dc(sim):
+    cluster = Cluster(sim, num_nodes=1)
+    pool = _pool(sim, cluster, dc_count=3)
+    picks = [pool.select_dc() for _ in range(6)]
+    assert picks[:3] == picks[3:]
+    assert len(set(id(qp) for qp in picks[:3])) == 3
+
+
+def test_pool_empty_dc_raises(sim):
+    cluster = Cluster(sim, num_nodes=1)
+    pool = HybridQpPool(sim, cpu_id=0, dc_qps=[], max_rc=2)
+    with pytest.raises(LookupError):
+        pool.select_dc()
+
+
+def test_pool_rc_insert_and_lookup(sim):
+    cluster = Cluster(sim, num_nodes=3)
+    pool = _pool(sim, cluster)
+    rc1, _ = quick_rc_pair(cluster.node(0), cluster.node(1))
+    assert pool.insert_rc("node1", rc1) is None
+    assert pool.has_rc("node1")
+    assert pool.select_rc("node1") is rc1
+
+
+def test_pool_lru_evicts_least_recent(sim):
+    cluster = Cluster(sim, num_nodes=3)
+    pool = _pool(sim, cluster, max_rc=2)
+    rc_a, _ = quick_rc_pair(cluster.node(0), cluster.node(1))
+    rc_b, _ = quick_rc_pair(cluster.node(0), cluster.node(2))
+    rc_c, _ = quick_rc_pair(cluster.node(0), cluster.node(2))
+    pool.insert_rc("a", rc_a)
+
+    def advance_then_touch():
+        yield 100
+        pool.select_rc("a")  # refresh a's recency
+        yield 100
+
+    pool.insert_rc("b", rc_b)
+    sim.run_process(advance_then_touch())
+    evicted = pool.insert_rc("c", rc_c)
+    assert evicted is not None
+    assert evicted[0] == "b"  # b was least recently used
+    assert pool.has_rc("a") and pool.has_rc("c") and not pool.has_rc("b")
+
+
+def test_pool_reinsert_same_gid_does_not_evict(sim):
+    cluster = Cluster(sim, num_nodes=2)
+    pool = _pool(sim, cluster, max_rc=1)
+    rc1, _ = quick_rc_pair(cluster.node(0), cluster.node(1))
+    rc2, _ = quick_rc_pair(cluster.node(0), cluster.node(1))
+    pool.insert_rc("x", rc1)
+    assert pool.insert_rc("x", rc2) is None
+    assert pool.select_rc("x") is rc2
+
+
+def test_pool_memory_accounting(sim):
+    cluster = Cluster(sim, num_nodes=2)
+    pool = _pool(sim, cluster, dc_count=2)
+    base = pool.memory_bytes()
+    assert base == 2 * timing.dc_qp_memory_bytes()
+    rc, _ = quick_rc_pair(cluster.node(0), cluster.node(1))
+    pool.insert_rc("y", rc)
+    assert pool.memory_bytes() == base + timing.rc_qp_memory_bytes()
+
+
+# ---------------------------------------------------------------------------
+# MetaServer / MetaClient
+# ---------------------------------------------------------------------------
+
+
+def test_meta_server_publish_and_retract(sim):
+    cluster = Cluster(sim, num_nodes=2)
+    meta = MetaServer(cluster.node(0))
+    meta.publish_dct("nodeX", 7, 1234)
+    client = MetaClient(cluster.node(1), meta)
+
+    def proc():
+        value = yield from client.lookup_dct("nodeX")
+        meta.retract_node("nodeX")
+        gone = yield from client.lookup_dct("nodeX")
+        return value, gone
+
+    value, gone = sim.run_process(proc())
+    assert value == (7, 1234)
+    assert gone is None
+
+
+def test_meta_server_mr_records(sim):
+    cluster = Cluster(sim, num_nodes=2)
+    meta = MetaServer(cluster.node(0))
+    meta.publish_mr("nodeX", 42, 0x1000, 4096)
+    client = MetaClient(cluster.node(1), meta)
+
+    def proc():
+        record = yield from client.lookup_mr("nodeX", 42)
+        missing = yield from client.lookup_mr("nodeX", 99)
+        meta.retract_mr("nodeX", 42)
+        retracted = yield from client.lookup_mr("nodeX", 42)
+        return record, missing, retracted
+
+    record, missing, retracted = sim.run_process(proc())
+    assert record == (0x1000, 4096)
+    assert missing is None
+    assert retracted is None
+
+
+def test_meta_client_serializes_concurrent_lookups(sim):
+    cluster = Cluster(sim, num_nodes=2)
+    meta = MetaServer(cluster.node(0))
+    meta.publish_dct("a", 1, 1)
+    meta.publish_dct("b", 2, 2)
+    client = MetaClient(cluster.node(1), meta)
+    results = []
+
+    def lookup(gid):
+        value = yield from client.lookup_dct(gid)
+        results.append((gid, value, sim.now))
+
+    sim.process(lookup("a"))
+    sim.process(lookup("b"))
+    sim.run()
+    assert {r[0] for r in results} == {"a", "b"}
+    assert all(r[1] is not None for r in results)
+    # The shared scratch buffer forces serialization: completions separated
+    # by at least one lookup's latency.
+    times = sorted(r[2] for r in results)
+    assert times[1] - times[0] >= 3_000
+
+
+# ---------------------------------------------------------------------------
+# ValidMr / MrStore
+# ---------------------------------------------------------------------------
+
+
+def test_valid_mr_records_and_checks(sim):
+    cluster = Cluster(sim, num_nodes=1)
+    node = cluster.node(0)
+    registry = ValidMr(node)
+    addr = node.memory.alloc(4096)
+    region = node.memory.register(addr, 4096)
+    registry.record(region)
+    assert registry.check_local(region.lkey, addr, 4096)
+    assert not registry.check_local(region.lkey, addr, 4097)
+    assert not registry.check_local(999, addr, 8)
+    assert registry.lookup_rkey(region.rkey) == (addr, 4096)
+    assert registry.lookup_region_by_lkey(region.lkey) is region
+    registry.forget(region)
+    assert registry.lookup_rkey(region.rkey) is None
+
+
+def test_mrstore_epoch_expiry():
+    sim = Simulator()
+    cluster, meta, modules = krcore_cluster(sim, num_nodes=3)
+    store = modules[1].mr_store
+    store._cache[("g", 1)] = (store._epoch(), (0, 64))
+    assert store.cached("g", 1) == (0, 64)
+
+    def advance():
+        yield store.lease_ns + 1
+
+    sim.run_process(advance())
+    assert store.cached("g", 1) is None  # lease boundary crossed
+
+
+def test_mrstore_invalidate_by_gid():
+    sim = Simulator()
+    cluster, meta, modules = krcore_cluster(sim, num_nodes=3)
+    store = modules[1].mr_store
+    epoch = store._epoch()
+    store._cache[("g", 1)] = (epoch, (0, 64))
+    store._cache[("g", 2)] = (epoch, (64, 64))
+    store._cache[("h", 1)] = (epoch, (0, 64))
+    store.invalidate("g")
+    assert store.cached("g", 1) is None
+    assert store.cached("g", 2) is None
+    assert store.cached("h", 1) == (0, 64)
+    store.invalidate("h", 1)
+    assert store.cached("h", 1) is None
+
+
+# ---------------------------------------------------------------------------
+# wr_id token table
+# ---------------------------------------------------------------------------
+
+
+def test_token_encode_decode_roundtrip():
+    sim = Simulator()
+    cluster, meta, modules = krcore_cluster(sim, num_nodes=3)
+    module = modules[1]
+    token = module.encode_wr_id("vqp-sentinel", 5)
+    decoded = module.decode_wr_id(token)
+    assert decoded.vqp == "vqp-sentinel"
+    assert decoded.covers == 5
+    # Tokens are one-shot.
+    assert module.decode_wr_id(token) is None
+    assert module.decode_wr_id(987654321) is None

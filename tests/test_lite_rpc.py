@@ -1,0 +1,104 @@
+"""Tests for LITE's RPC interface (the third of its high-level APIs)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.lite import LiteError, LiteModule
+from repro.sim import MS, Simulator, US
+
+
+def _make_env(num_nodes=3):
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=num_nodes)
+    modules = [LiteModule(node) for node in cluster.nodes]
+    return sim, cluster, modules
+
+
+def test_rpc_roundtrip():
+    sim, cluster, modules = _make_env()
+    modules[1].rpc_register(lambda request: b"echo:" + request)
+
+    def proc():
+        response = yield from modules[0].rpc_call(cluster.node(1).gid, b"ping")
+        return response
+
+    assert sim.run_process(proc()) == b"echo:ping"
+
+
+def test_rpc_roundtrip_after_prewarm():
+    sim, cluster, modules = _make_env()
+    modules[0].prewarm(modules[1])
+    modules[1].rpc_register(lambda request: request[::-1])
+
+    def proc():
+        start = sim.now
+        response = yield from modules[0].rpc_call(cluster.node(1).gid, b"abcdef")
+        return response, sim.now - start
+
+    response, elapsed = sim.run_process(proc())
+    assert response == b"fedcba"
+    assert elapsed < 20 * US  # data path only: no connection setup
+
+
+def test_rpc_first_call_pays_connection_cost():
+    sim, cluster, modules = _make_env()
+    modules[1].rpc_register(lambda request: b"ok")
+
+    def proc():
+        start = sim.now
+        yield from modules[0].rpc_call(cluster.node(1).gid, b"x")
+        return sim.now - start
+
+    assert sim.run_process(proc()) > 1_800 * US  # Issue #1 again
+
+
+def test_rpc_without_handler_fails():
+    sim, cluster, modules = _make_env()
+
+    def proc():
+        yield from modules[0].rpc_call(cluster.node(1).gid, b"x")
+
+    with pytest.raises(LiteError):
+        sim.run_process(proc())
+
+
+def test_concurrent_rpcs_get_matching_replies():
+    sim, cluster, modules = _make_env()
+    modules[0].prewarm(modules[1])
+    modules[1].rpc_register(lambda request: b"r:" + request)
+    results = {}
+
+    def caller(tag):
+        response = yield from modules[0].rpc_call(cluster.node(1).gid, tag)
+        results[tag] = response
+
+    for i in range(6):
+        sim.process(caller(b"req%d" % i))
+    sim.run()
+    assert results == {b"req%d" % i: b"r:req%d" % i for i in range(6)}
+
+
+def test_rpc_both_directions_on_one_connection():
+    sim, cluster, modules = _make_env()
+    modules[0].prewarm(modules[1])
+    modules[0].rpc_register(lambda request: b"from0")
+    modules[1].rpc_register(lambda request: b"from1")
+
+    def proc():
+        first = yield from modules[0].rpc_call(cluster.node(1).gid, b"a")
+        second = yield from modules[1].rpc_call(cluster.node(0).gid, b"b")
+        return first, second
+
+    assert sim.run_process(proc()) == (b"from1", b"from0")
+
+
+def test_rpc_rejects_oversized_message():
+    sim, cluster, modules = _make_env()
+    modules[0].prewarm(modules[1])
+    modules[1].rpc_register(lambda request: b"ok")
+
+    def proc():
+        with pytest.raises(LiteError):
+            yield from modules[0].rpc_call(cluster.node(1).gid, b"x" * 8192)
+
+    sim.run_process(proc())

@@ -1,0 +1,324 @@
+"""Tests for the RACE-style disaggregated KV store over all three backends."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.race import (
+    KrcoreBackend,
+    LiteBackend,
+    RaceClient,
+    RaceError,
+    RaceStorage,
+    VerbsBackend,
+)
+from repro.apps.race.backends import register_storage
+from repro.apps.race.hashing import fingerprint, pack_slot, unpack_slot
+from repro.cluster import Cluster
+from repro.lite import LiteModule
+from repro.sim import MS, Simulator, US
+from repro.verbs import ConnectionManager, DriverContext
+from tests.conftest import krcore_cluster
+
+
+# ---------------------------------------------------------------------------
+# Slot packing
+# ---------------------------------------------------------------------------
+
+
+def test_slot_roundtrip():
+    word = pack_slot(0x123, 10, 200, 0xDEADBEEF)
+    assert unpack_slot(word) == (0x123, 10, 200, 0xDEADBEEF)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    fp=st.integers(1, 0xFFF),
+    klen=st.integers(0, 255),
+    vlen=st.integers(0, 4095),
+    off=st.integers(0, 0xFFFFFFFF),
+)
+def test_slot_roundtrip_property(fp, klen, vlen, off):
+    assert unpack_slot(pack_slot(fp, klen, vlen, off)) == (fp, klen, vlen, off)
+
+
+def test_slot_rejects_oversize():
+    with pytest.raises(RaceError):
+        pack_slot(1, 300, 0, 0)
+    with pytest.raises(RaceError):
+        pack_slot(1, 0, 5000, 0)
+
+
+def test_fingerprint_nonzero_and_stable():
+    fp1, spread1 = fingerprint(b"key")
+    fp2, spread2 = fingerprint(b"key")
+    assert (fp1, spread1) == (fp2, spread2)
+    assert fp1 != 0
+
+
+# ---------------------------------------------------------------------------
+# Local storage behaviour
+# ---------------------------------------------------------------------------
+
+
+def _local_storage():
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=1)
+    return sim, RaceStorage(cluster.node(0), num_buckets=256, heap_bytes=1 << 18)
+
+
+def test_local_load_and_get():
+    _, storage = _local_storage()
+    storage.load(b"alpha", b"one")
+    storage.load(b"beta", b"two")
+    assert storage.get_local(b"alpha") == b"one"
+    assert storage.get_local(b"beta") == b"two"
+    assert storage.get_local(b"gamma") is None
+
+
+def test_local_load_overwrites():
+    _, storage = _local_storage()
+    storage.load(b"k", b"v1")
+    storage.load(b"k", b"v2")
+    assert storage.get_local(b"k") == b"v2"
+
+
+def test_storage_rejects_non_power_of_two():
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=1)
+    with pytest.raises(RaceError):
+        RaceStorage(cluster.node(0), num_buckets=100)
+
+
+# ---------------------------------------------------------------------------
+# Remote clients: one per backend
+# ---------------------------------------------------------------------------
+
+
+def _verbs_env():
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=3, memory_size=32 << 20)
+    for node in cluster.nodes:
+        ConnectionManager(node, DriverContext(node, kernel=True))
+    storage = RaceStorage(cluster.node(1), num_buckets=1024, heap_bytes=1 << 19)
+    backend = VerbsBackend(cluster.node(0))
+    client = RaceClient(backend, [storage.catalog()])
+    return sim, cluster, storage, client
+
+
+def _lite_env():
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=3, memory_size=32 << 20)
+    modules = [LiteModule(node) for node in cluster.nodes]
+    storage = RaceStorage(cluster.node(1), num_buckets=1024, heap_bytes=1 << 19)
+    backend = LiteBackend(cluster.node(0))
+    client = RaceClient(backend, [storage.catalog()])
+    return sim, cluster, storage, client
+
+
+def _krcore_env():
+    sim = Simulator()
+    cluster, meta, modules = krcore_cluster(sim, num_nodes=3)
+    storage = RaceStorage(cluster.node(1), num_buckets=1024, heap_bytes=1 << 19, register=False)
+    region = sim.run_process(register_storage(storage, krcore_module=modules[1]))
+    backend = KrcoreBackend(cluster.node(0))
+    client = RaceClient(backend, [storage.catalog(rkey=region.rkey)])
+    return sim, cluster, storage, client
+
+
+@pytest.mark.parametrize("make_env", [_verbs_env, _lite_env, _krcore_env])
+def test_put_get_roundtrip_over_backend(make_env):
+    sim, cluster, storage, client = make_env()
+
+    def proc():
+        yield from client.setup()
+        yield from client.put(b"hello", b"world")
+        value = yield from client.get(b"hello")
+        missing = yield from client.get(b"nope")
+        return value, missing
+
+    value, missing = sim.run_process(proc())
+    assert value == b"world"
+    assert missing is None
+    assert storage.get_local(b"hello") == b"world"
+
+
+@pytest.mark.parametrize("make_env", [_verbs_env, _lite_env, _krcore_env])
+def test_update_over_backend(make_env):
+    sim, cluster, storage, client = make_env()
+
+    def proc():
+        yield from client.setup()
+        yield from client.put(b"k", b"v1")
+        yield from client.put(b"k", b"v2")
+        return (yield from client.get(b"k"))
+
+    assert sim.run_process(proc()) == b"v2"
+
+
+@pytest.mark.parametrize("make_env", [_verbs_env, _krcore_env])
+def test_batched_get_over_backend(make_env):
+    sim, cluster, storage, client = make_env()
+    keys = [b"user%04d" % i for i in range(16)]
+    for i, key in enumerate(keys):
+        storage.load(key, b"value%04d" % i)
+
+    def proc():
+        yield from client.setup()
+        results = yield from client.get_batch(keys + [b"missing-key"])
+        return results
+
+    results = sim.run_process(proc())
+    for i, key in enumerate(keys):
+        assert results[key] == b"value%04d" % i
+    assert results[b"missing-key"] is None
+
+
+def test_many_keys_roundtrip_verbs():
+    sim, cluster, storage, client = _verbs_env()
+
+    def proc():
+        yield from client.setup()
+        for i in range(80):
+            yield from client.put(b"key%03d" % i, b"val%03d" % i)
+        values = []
+        for i in range(80):
+            values.append((yield from client.get(b"key%03d" % i)))
+        return values
+
+    values = sim.run_process(proc())
+    assert values == [b"val%03d" % i for i in range(80)]
+
+
+def test_client_reads_data_loaded_locally():
+    sim, cluster, storage, client = _verbs_env()
+    storage.load(b"preloaded", b"bulk")
+
+    def proc():
+        yield from client.setup()
+        return (yield from client.get(b"preloaded"))
+
+    assert sim.run_process(proc()) == b"bulk"
+
+
+def test_setup_cost_reflects_backend_control_path():
+    # The heart of Fig 16: worker bootstrap is ~ms for verbs/LITE and ~us
+    # for KRCORE (after the first worker warms LITE's kernel cache, LITE
+    # gets cheap too -- but the *first* contact is what spikes care about).
+    sim_v, _, _, client_v = _verbs_env()
+    sim_l, _, _, client_l = _lite_env()
+    sim_k, _, _, client_k = _krcore_env()
+
+    def timed_setup(sim, client):
+        def proc():
+            start = sim.now
+            yield from client.setup()
+            return sim.now - start
+
+        return sim.run_process(proc())
+
+    verbs_cost = timed_setup(sim_v, client_v)
+    lite_cost = timed_setup(sim_l, client_l)
+    krcore_cost = timed_setup(sim_k, client_k)
+    assert verbs_cost > 15 * MS  # driver init dominates
+    assert 1 * MS < lite_cost < 4 * MS  # create+configure per connection
+    assert krcore_cost < 50 * US  # qconnect + reg_mr
+    assert krcore_cost < lite_cost / 10
+    assert lite_cost < verbs_cost
+
+
+def test_concurrent_writers_do_not_lose_updates():
+    # Two workers inserting disjoint keys through the same storage node.
+    sim, cluster, storage, client_a = _verbs_env()
+    backend_b = VerbsBackend(cluster.node(2))
+    client_b = RaceClient(backend_b, [storage.catalog()])
+
+    def writer(client, prefix, count):
+        yield from client.setup()
+        for i in range(count):
+            yield from client.put(b"%s%03d" % (prefix, i), b"v-%s%03d" % (prefix, i))
+
+    sim.process(writer(client_a, b"aa", 30))
+    sim.process(writer(client_b, b"bb", 30))
+    sim.run()
+    for prefix in (b"aa", b"bb"):
+        for i in range(30):
+            key = b"%s%03d" % (prefix, i)
+            assert storage.get_local(key) == b"v-" + key
+
+
+def test_contending_writers_same_key_one_wins():
+    sim, cluster, storage, client_a = _verbs_env()
+    backend_b = VerbsBackend(cluster.node(2))
+    client_b = RaceClient(backend_b, [storage.catalog()])
+
+    def writer(client, value):
+        yield from client.setup()
+        yield from client.put(b"contended", value)
+
+    sim.process(writer(client_a, b"from-a"))
+    sim.process(writer(client_b, b"from-b"))
+    sim.run()
+    assert storage.get_local(b"contended") in (b"from-a", b"from-b")
+
+
+def test_delete_removes_key():
+    sim, cluster, storage, client = _verbs_env()
+
+    def proc():
+        yield from client.setup()
+        yield from client.put(b"doomed", b"value")
+        present = yield from client.delete(b"doomed")
+        value = yield from client.get(b"doomed")
+        absent = yield from client.delete(b"doomed")
+        return present, value, absent
+
+    present, value, absent = sim.run_process(proc())
+    assert present is True
+    assert value is None
+    assert absent is False
+    assert storage.get_local(b"doomed") is None
+
+
+def test_delete_does_not_break_probe_chains():
+    # Keys that overflowed into later buckets stay reachable after an
+    # earlier colliding key is deleted (lookups scan the full window).
+    sim, cluster, storage, client = _verbs_env()
+    from repro.apps.race.hashing import fingerprint
+
+    target = fingerprint(b"seed")[1] % storage.num_buckets
+    colliders = [b"seed"]
+    i = 0
+    while len(colliders) < 10:
+        key = b"c%05d" % i
+        if fingerprint(key)[1] % storage.num_buckets == target:
+            colliders.append(key)
+        i += 1
+
+    def proc():
+        yield from client.setup()
+        for j, key in enumerate(colliders):
+            yield from client.put(key, b"v%d" % j)
+        # Delete the first (home-bucket) key...
+        yield from client.delete(colliders[0])
+        # ...and every overflowed key must still be found.
+        values = []
+        for key in colliders[1:]:
+            values.append((yield from client.get(key)))
+        return values
+
+    values = sim.run_process(proc())
+    assert values == [b"v%d" % j for j in range(1, 10)]
+
+
+def test_put_after_delete_reuses_slot():
+    sim, cluster, storage, client = _verbs_env()
+
+    def proc():
+        yield from client.setup()
+        yield from client.put(b"cycled", b"v1")
+        yield from client.delete(b"cycled")
+        yield from client.put(b"cycled", b"v2")
+        return (yield from client.get(b"cycled"))
+
+    assert sim.run_process(proc()) == b"v2"

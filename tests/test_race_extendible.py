@@ -1,0 +1,187 @@
+"""Tests for the extendible (online-resizing) RACE variant."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.race import RaceError, VerbsBackend
+from repro.apps.race.extendible import (
+    BUCKETS_PER_SUBTABLE,
+    DIR_ENTRIES,
+    ExtendibleRaceClient,
+    ExtendibleRaceStorage,
+    MAX_DEPTH,
+    pack_dir_entry,
+    unpack_dir_entry,
+)
+from repro.cluster import Cluster
+from repro.sim import Simulator
+from repro.verbs import ConnectionManager, DriverContext
+
+
+def _env(initial_depth=1, heap_bytes=1 << 19):
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=3, memory_size=64 << 20)
+    for node in cluster.nodes:
+        ConnectionManager(node, DriverContext(node, kernel=True))
+    storage = ExtendibleRaceStorage(
+        cluster.node(1), initial_depth=initial_depth, heap_bytes=heap_bytes
+    )
+    client = ExtendibleRaceClient(VerbsBackend(cluster.node(0)), storage.catalog())
+    return sim, cluster, storage, client
+
+
+def test_dir_entry_roundtrip():
+    word = pack_dir_entry(123, 7)
+    assert unpack_dir_entry(word) == (123, 7)
+
+
+def test_directory_is_fully_replicated_at_boot():
+    _, _, storage, _ = _env(initial_depth=2)
+    assert storage.subtable_count_local() == 4
+    for index in range(DIR_ENTRIES):
+        subtable, depth = storage.dir_entry_local(index)
+        assert subtable == index % 4
+        assert depth == 2
+
+
+def test_put_get_roundtrip():
+    sim, cluster, storage, client = _env()
+
+    def proc():
+        yield from client.setup()
+        yield from client.put(b"alpha", b"one")
+        yield from client.put(b"beta", b"two")
+        a = yield from client.get(b"alpha")
+        b = yield from client.get(b"beta")
+        missing = yield from client.get(b"gamma")
+        return a, b, missing
+
+    assert sim.run_process(proc()) == (b"one", b"two", None)
+
+
+def test_update_in_place():
+    sim, cluster, storage, client = _env()
+
+    def proc():
+        yield from client.setup()
+        yield from client.put(b"k", b"v1")
+        yield from client.put(b"k", b"v2")
+        return (yield from client.get(b"k"))
+
+    assert sim.run_process(proc()) == b"v2"
+
+
+def test_inserts_force_splits_and_all_keys_survive():
+    sim, cluster, storage, client = _env(initial_depth=1)
+    count = 300  # far beyond 2 subtables x 8 buckets x 8 slots / probe window
+
+    def proc():
+        yield from client.setup()
+        for i in range(count):
+            yield from client.put(b"key%04d" % i, b"val%04d" % i)
+        values = []
+        for i in range(count):
+            values.append((yield from client.get(b"key%04d" % i)))
+        return values
+
+    values = sim.run_process(proc())
+    assert values == [b"val%04d" % i for i in range(count)]
+    assert client.stats_splits > 0
+    assert storage.subtable_count_local() > 2
+
+
+def test_split_deepens_directory_entries():
+    sim, cluster, storage, client = _env(initial_depth=1)
+
+    def proc():
+        yield from client.setup()
+        for i in range(300):
+            yield from client.put(b"key%04d" % i, b"x")
+
+    sim.run_process(proc())
+    depths = {storage.dir_entry_local(i)[1] for i in range(DIR_ENTRIES)}
+    assert max(depths) > 1
+    # Replication invariant: all replicas of a subtable agree on depth, and
+    # an entry's subtable repeats with period 2^depth.
+    for index in range(DIR_ENTRIES):
+        subtable, depth = storage.dir_entry_local(index)
+        replica = index % (1 << depth)
+        assert storage.dir_entry_local(replica) == (subtable, depth)
+
+
+def test_stale_directory_reader_recovers():
+    sim, cluster, storage, client_a = _env(initial_depth=1)
+    client_b = ExtendibleRaceClient(VerbsBackend(cluster.node(2)), storage.catalog())
+
+    def proc():
+        yield from client_a.setup()
+        yield from client_b.setup()  # b caches the pre-split directory
+        for i in range(300):  # a forces splits
+            yield from client_a.put(b"key%04d" % i, b"val%04d" % i)
+        assert client_a.stats_splits > 0
+        refreshes_before = client_b.stats_dir_refreshes
+        # b still finds every key (refreshing its stale directory on miss).
+        for i in range(0, 300, 17):
+            value = yield from client_b.get(b"key%04d" % i)
+            assert value == b"val%04d" % i
+        return client_b.stats_dir_refreshes - refreshes_before
+
+    refreshes = sim.run_process(proc())
+    assert refreshes >= 1  # the stale-read path actually fired
+
+
+def test_concurrent_writers_with_splits_lose_nothing():
+    sim, cluster, storage, client_a = _env(initial_depth=1)
+    client_b = ExtendibleRaceClient(VerbsBackend(cluster.node(2)), storage.catalog())
+
+    def writer(client, prefix, count):
+        yield from client.setup()
+        for i in range(count):
+            yield from client.put(b"%s%04d" % (prefix, i), b"v-%s%04d" % (prefix, i))
+
+    sim.process(writer(client_a, b"aa", 120))
+    sim.process(writer(client_b, b"bb", 120))
+    sim.run()
+
+    def check():
+        reader = ExtendibleRaceClient(VerbsBackend(cluster.node(0)), storage.catalog())
+        yield from reader.setup()
+        for prefix in (b"aa", b"bb"):
+            for i in range(120):
+                key = b"%s%04d" % (prefix, i)
+                value = yield from reader.get(key)
+                assert value == b"v-" + key, key
+        return True
+
+    assert sim.run_process(check())
+
+
+def test_initial_depth_validation():
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=1, memory_size=64 << 20)
+    with pytest.raises(RaceError):
+        ExtendibleRaceStorage(cluster.node(0), initial_depth=MAX_DEPTH + 1)
+
+
+@settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    keys=st.lists(
+        st.binary(min_size=1, max_size=12), min_size=1, max_size=60, unique=True
+    )
+)
+def test_extendible_matches_dict_model(keys):
+    sim, cluster, storage, client = _env(initial_depth=1)
+    model = {}
+
+    def proc():
+        yield from client.setup()
+        for index, key in enumerate(keys):
+            value = b"v%d" % index
+            yield from client.put(key, value)
+            model[key] = value
+        for key, value in model.items():
+            got = yield from client.get(key)
+            assert got == value
+
+    sim.run_process(proc())

@@ -1,0 +1,211 @@
+"""Tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, SimulationError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_timeout_advances_clock(sim):
+    def proc():
+        yield 100
+        return sim.now
+
+    assert sim.run_process(proc()) == 100
+
+
+def test_sequential_timeouts_accumulate(sim):
+    def proc():
+        yield 10
+        yield 20
+        yield 30
+        return sim.now
+
+    assert sim.run_process(proc()) == 60
+
+
+def test_event_trigger_resumes_waiter_with_value(sim):
+    event = sim.event()
+    results = []
+
+    def waiter():
+        value = yield event
+        results.append((sim.now, value))
+
+    def firer():
+        yield 50
+        event.trigger("payload")
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert results == [(50, "payload")]
+
+
+def test_event_trigger_twice_raises(sim):
+    event = sim.event()
+    event.trigger()
+    with pytest.raises(SimulationError):
+        event.trigger()
+
+
+def test_wait_on_already_triggered_event_resumes_immediately(sim):
+    event = sim.event()
+    event.trigger(42)
+
+    def proc():
+        value = yield event
+        return (sim.now, value)
+
+    assert sim.run_process(proc()) == (0, 42)
+
+
+def test_event_fail_raises_in_waiter(sim):
+    event = sim.event()
+
+    def proc():
+        with pytest.raises(RuntimeError, match="boom"):
+            yield event
+        return "survived"
+
+    def firer():
+        yield 5
+        event.fail(RuntimeError("boom"))
+
+    proc_handle = sim.process(proc())
+    sim.process(firer())
+    sim.run()
+    assert proc_handle.done_event.value == "survived"
+
+
+def test_process_join_receives_return_value(sim):
+    def child():
+        yield 30
+        return "done"
+
+    def parent():
+        value = yield sim.process(child())
+        return (sim.now, value)
+
+    assert sim.run_process(parent()) == (30, "done")
+
+
+def test_unjoined_process_failure_propagates_from_run(sim):
+    def bad():
+        yield 1
+        raise ValueError("kaboom")
+
+    sim.process(bad())
+    with pytest.raises(ValueError, match="kaboom"):
+        sim.run()
+
+
+def test_all_of_waits_for_every_child(sim):
+    def child(delay, value):
+        yield delay
+        return value
+
+    def parent():
+        values = yield AllOf([sim.process(child(30, "a")), sim.process(child(10, "b"))])
+        return (sim.now, values)
+
+    assert sim.run_process(parent()) == (30, ["a", "b"])
+
+
+def test_any_of_fires_on_first_child(sim):
+    def child(delay, value):
+        yield delay
+        return value
+
+    def parent():
+        index, value = yield AnyOf(
+            [sim.process(child(30, "slow")), sim.process(child(10, "fast"))]
+        )
+        return (sim.now, index, value)
+
+    assert sim.run_process(parent()) == (10, 1, "fast")
+
+
+def test_interrupt_is_raised_at_current_yield(sim):
+    log = []
+
+    def sleeper():
+        try:
+            yield 1_000
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    def interrupter(target):
+        yield 100
+        target.interrupt("wake")
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [(100, "wake")]
+
+
+def test_interrupting_finished_process_is_noop(sim):
+    def quick():
+        yield 1
+
+    proc = sim.process(quick())
+    sim.run()
+    proc.interrupt("late")
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_run_until_stops_clock_at_bound(sim):
+    def proc():
+        yield 1_000
+
+    sim.process(proc())
+    sim.run(until=400)
+    assert sim.now == 400
+    sim.run()
+    assert sim.now == 1_000
+
+
+def test_schedule_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_deterministic_fifo_order_for_simultaneous_events(sim):
+    order = []
+
+    def proc(tag):
+        yield 10
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_requires_generator(sim):
+    with pytest.raises(SimulationError):
+        sim.process(lambda: None)
+
+
+def test_nested_process_spawning(sim):
+    def grandchild():
+        yield 5
+        return "gc"
+
+    def child():
+        value = yield sim.process(grandchild())
+        yield 5
+        return value + "-c"
+
+    def parent():
+        value = yield sim.process(child())
+        return (sim.now, value)
+
+    assert sim.run_process(parent()) == (10, "gc-c")

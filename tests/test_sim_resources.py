@@ -1,0 +1,167 @@
+"""Tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_resource_grants_up_to_capacity_without_waiting(sim):
+    resource = Resource(sim, capacity=2)
+    times = []
+
+    def worker():
+        grant = yield resource.acquire()
+        times.append(sim.now)
+        yield 100
+        resource.release(grant)
+
+    for _ in range(2):
+        sim.process(worker())
+    sim.run()
+    assert times == [0, 0]
+
+
+def test_resource_queues_beyond_capacity_fifo(sim):
+    resource = Resource(sim, capacity=1)
+    starts = []
+
+    def worker(tag):
+        grant = yield resource.acquire()
+        starts.append((tag, sim.now))
+        yield 100
+        resource.release(grant)
+
+    for tag in ("a", "b", "c"):
+        sim.process(worker(tag))
+    sim.run()
+    assert starts == [("a", 0), ("b", 100), ("c", 200)]
+
+
+def test_resource_serve_helper(sim):
+    resource = Resource(sim, capacity=1)
+
+    def worker():
+        yield sim.process(resource.serve(250))
+        return sim.now
+
+    def worker2():
+        yield sim.process(resource.serve(250))
+        return sim.now
+
+    first = sim.process(worker())
+    second = sim.process(worker2())
+    sim.run()
+    assert first.done_event.value == 250
+    assert second.done_event.value == 500
+
+
+def test_release_twice_raises(sim):
+    resource = Resource(sim, capacity=1)
+
+    def worker():
+        grant = yield resource.acquire()
+        resource.release(grant)
+        with pytest.raises(SimulationError):
+            resource.release(grant)
+        yield 0
+
+    sim.process(worker())
+    sim.run()
+
+
+def test_release_foreign_grant_raises(sim):
+    first = Resource(sim, capacity=1)
+    second = Resource(sim, capacity=1)
+
+    def worker():
+        grant = yield first.acquire()
+        with pytest.raises(SimulationError):
+            second.release(grant)
+        first.release(grant)
+        yield 0
+
+    sim.process(worker())
+    sim.run()
+
+
+def test_resource_capacity_must_be_positive(sim):
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_usage_counters(sim):
+    resource = Resource(sim, capacity=1)
+    observed = []
+
+    def holder():
+        grant = yield resource.acquire()
+        yield 50
+        observed.append((resource.in_use, resource.queue_length))
+        resource.release(grant)
+
+    def contender():
+        grant = yield resource.acquire()
+        resource.release(grant)
+        yield 0
+
+    sim.process(holder())
+    sim.process(contender())
+    sim.run()
+    assert observed == [(1, 1)]
+
+
+def test_store_put_then_get(sim):
+    store = Store(sim)
+    store.put("x")
+
+    def getter():
+        item = yield store.get()
+        return item
+
+    assert sim.run_process(getter()) == "x"
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+    result = []
+
+    def getter():
+        item = yield store.get()
+        result.append((sim.now, item))
+
+    def putter():
+        yield 75
+        store.put("late")
+
+    sim.process(getter())
+    sim.process(putter())
+    sim.run()
+    assert result == [(75, "late")]
+
+
+def test_store_fifo_order(sim):
+    store = Store(sim)
+    for item in (1, 2, 3):
+        store.put(item)
+    got = []
+
+    def getter():
+        for _ in range(3):
+            got.append((yield store.get()))
+
+    sim.process(getter())
+    sim.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_try_get(sim):
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("y")
+    assert store.try_get() == "y"
+    assert len(store) == 0

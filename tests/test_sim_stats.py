@@ -1,0 +1,92 @@
+"""Tests for measurement helpers."""
+
+import pytest
+
+from repro.sim import LatencyRecorder, RateMeter, Simulator, percentile
+
+
+def test_percentile_endpoints():
+    samples = [10, 20, 30, 40]
+    assert percentile(samples, 0.0) == 10
+    assert percentile(samples, 1.0) == 40
+
+
+def test_percentile_interpolates():
+    assert percentile([0, 10], 0.5) == 5.0
+
+
+def test_percentile_single_sample():
+    assert percentile([7], 0.99) == 7
+
+
+def test_percentile_rejects_empty_and_bad_fraction():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1], 1.5)
+
+
+def test_latency_recorder_summary():
+    recorder = LatencyRecorder()
+    for value in (1_000, 2_000, 3_000):
+        recorder.record(value)
+    assert recorder.count == 3
+    assert recorder.mean() == 2_000
+    assert recorder.mean_us() == 2.0
+    assert recorder.min() == 1_000
+    assert recorder.max() == 3_000
+
+
+def test_latency_recorder_rejects_negative():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.record(-1)
+
+
+def test_latency_recorder_cdf_monotonic():
+    recorder = LatencyRecorder()
+    for value in range(100, 0, -1):
+        recorder.record(value)
+    curve = recorder.cdf(points=10)
+    latencies = [point[0] for point in curve]
+    fractions = [point[1] for point in curve]
+    assert latencies == sorted(latencies)
+    assert fractions[-1] == 1.0
+    assert all(0 < f <= 1.0 for f in fractions)
+
+
+def test_rate_meter_counts_per_simulated_second():
+    sim = Simulator()
+    meter = RateMeter(sim)
+
+    def proc():
+        for _ in range(10):
+            yield 100
+            meter.tick()
+
+    sim.run_process(proc())
+    assert meter.rate_per_sec() == pytest.approx(10 * 1_000_000_000 / 1_000)
+
+
+def test_rate_meter_requires_elapsed_time():
+    sim = Simulator()
+    meter = RateMeter(sim)
+    meter.tick()
+    with pytest.raises(ValueError):
+        meter.rate_per_sec()
+
+
+def test_rate_meter_reset():
+    sim = Simulator()
+    meter = RateMeter(sim)
+
+    def proc():
+        yield 500
+        meter.tick(5)
+        meter.reset()
+        yield 1_000
+        meter.tick(2)
+
+    sim.run_process(proc())
+    assert meter.count == 2
+    assert meter.rate_per_sec() == pytest.approx(2 * 1_000_000_000 / 1_000)

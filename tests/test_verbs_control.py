@@ -1,0 +1,203 @@
+"""Control-path tests: driver init, QP creation, RC connection handshake."""
+
+import pytest
+
+from repro.cluster import Cluster, timing
+from repro.sim import MS, Simulator, US
+from repro.verbs import (
+    ConnectionManager,
+    DriverContext,
+    QpState,
+    QpType,
+    WorkRequest,
+)
+from repro.verbs.connection import ConnectError, rc_connect
+from tests.conftest import register
+
+
+def _make_env(num_nodes=3):
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=num_nodes)
+    for node in cluster.nodes:
+        ConnectionManager(node, DriverContext(node, kernel=True))
+    return sim, cluster
+
+
+def test_driver_init_costs_and_is_once():
+    sim, cluster = _make_env()
+    ctx = DriverContext(cluster.node(0))
+
+    def proc():
+        yield from ctx.ensure_init()
+        first = sim.now
+        yield from ctx.ensure_init()
+        return first, sim.now
+
+    first, second = sim.run_process(proc())
+    assert first == timing.DRIVER_INIT_NS
+    assert second == first  # second call is free
+
+
+def test_kernel_context_is_preinitialized():
+    sim, cluster = _make_env()
+    ctx = DriverContext(cluster.node(0), kernel=True)
+    assert ctx.initialized
+
+
+def test_create_qp_costs_413us():
+    sim, cluster = _make_env()
+    ctx = DriverContext(cluster.node(0), kernel=True)
+
+    def proc():
+        cq = yield from ctx.create_cq()
+        start = sim.now
+        qp = yield from ctx.create_qp(QpType.RC, cq)
+        return sim.now - start, qp
+
+    elapsed, qp = sim.run_process(proc())
+    assert elapsed == timing.CREATE_QP_NS
+    assert qp.state is QpState.RESET
+
+
+def test_rc_connect_first_connection_is_15_7ms():
+    sim, cluster = _make_env()
+    client = cluster.node(0)
+    ctx = DriverContext(client)
+
+    def proc():
+        yield from ctx.ensure_init()
+        cq = yield from ctx.create_cq()
+        qp = yield from rc_connect(ctx, cq, cluster.node(1).gid)
+        return sim.now, qp
+
+    elapsed, qp = sim.run_process(proc())
+    # Fig 3a: 15.7 ms (wire time of the handshake datagrams adds ~1.3 us).
+    assert abs(elapsed - 15_700 * US) < 20 * US
+    assert qp.state is QpState.RTS
+
+
+def test_rc_connect_cached_context_is_about_2ms():
+    # LITE's per-connection cost: kernel context + shared CQ already exist.
+    sim, cluster = _make_env()
+    client = cluster.node(0)
+    ctx = DriverContext(client, kernel=True)
+
+    def proc():
+        cq = yield from ctx.create_cq()
+        start = sim.now
+        yield from rc_connect(ctx, cq, cluster.node(1).gid)
+        return sim.now - start
+
+    elapsed = sim.run_process(proc())
+    assert abs(elapsed - timing.LITE_CONTROL_PATH_NS) < 20 * US
+    assert 1_800 * US < elapsed < 2_500 * US
+
+
+def test_connected_pair_carries_traffic_both_ways():
+    sim, cluster = _make_env()
+    client, server = cluster.node(0), cluster.node(1)
+    ctx = DriverContext(client, kernel=True)
+    raddr, rmr = register(server, 4096)
+    server.memory.write(raddr, b"post-handshake")
+    laddr, lmr = register(client, 4096)
+
+    def proc():
+        cq = yield from ctx.create_cq()
+        qp = yield from rc_connect(ctx, cq, server.gid)
+        qp.post_send(WorkRequest.read(laddr, 14, lmr.lkey, raddr, rmr.rkey))
+        completions = yield from qp.send_cq.wait_poll()
+        return completions[0]
+
+    assert sim.run_process(proc()).ok
+    assert client.memory.read(laddr, 14) == b"post-handshake"
+
+
+def test_server_accept_throughput_near_712_per_sec():
+    # Fig 8a: the server RNIC command processor caps accepts at ~712/s.
+    sim, cluster = _make_env(num_nodes=3)
+    server_gid = cluster.node(2).gid
+    accepted = []
+    num_clients = 40
+
+    def one_client(node):
+        ctx = DriverContext(node, kernel=True)
+        cq = yield from ctx.create_cq()
+        yield from rc_connect(ctx, cq, server_gid)
+        accepted.append(sim.now)
+
+    for i in range(num_clients):
+        sim.process(one_client(cluster.node(i % 2)))
+    sim.run()
+    assert len(accepted) == num_clients
+    window = max(accepted) - min(accepted)
+    rate = (num_clients - 1) * 1e9 / window
+    # Paper: 712 QP/s sustained.  A short burst reads slightly high because
+    # replies only wait on create_qp while the RTR/RTS backlog drains later;
+    # the sustained rate is asserted by the Fig 8 benchmark.
+    assert 600 <= rate <= 900
+
+
+def test_connect_to_dead_node_raises():
+    sim, cluster = _make_env()
+    client = cluster.node(0)
+    cluster.node(1).fail()
+    ctx = DriverContext(client, kernel=True)
+
+    def proc():
+        cq = yield from ctx.create_cq()
+        with pytest.raises(ConnectError):
+            yield from rc_connect(ctx, cq, cluster.node(1).gid)
+
+    sim.run_process(proc())
+
+
+def test_connect_to_unbound_port_raises():
+    sim, cluster = _make_env()
+    client = cluster.node(0)
+    ctx = DriverContext(client, kernel=True)
+
+    def proc():
+        cq = yield from ctx.create_cq()
+        with pytest.raises(ConnectError):
+            yield from rc_connect(ctx, cq, cluster.node(1).gid, port=99)
+
+    sim.run_process(proc())
+
+
+def test_listener_receives_accepted_qp():
+    sim, cluster = _make_env()
+    client, server = cluster.node(0), cluster.node(1)
+    manager = server.services[ConnectionManager.SERVICE]
+    got = []
+    manager.listen(7, lambda qp, gid: got.append((qp, gid)))
+    ctx = DriverContext(client, kernel=True)
+
+    def proc():
+        cq = yield from ctx.create_cq()
+        qp = yield from rc_connect(ctx, cq, server.gid, port=7)
+        # Let the server finish its own RTR/RTS configuration.
+        yield 2 * MS
+        return qp
+
+    client_qp = sim.run_process(proc())
+    assert len(got) == 1
+    server_qp, gid = got[0]
+    assert gid == client.gid
+    assert server_qp.state is QpState.RTS
+    assert server_qp.remote == (client.gid, client_qp.qpn)
+
+
+def test_reg_mr_is_microsecond_scale():
+    sim, cluster = _make_env()
+    ctx = DriverContext(cluster.node(0), kernel=True)
+    pd = ctx.alloc_pd()
+
+    def proc():
+        addr = cluster.node(0).memory.alloc(4 << 20)
+        start = sim.now
+        region = yield from pd.reg_mr(addr, 4 << 20)
+        return sim.now - start, region
+
+    elapsed, region = sim.run_process(proc())
+    assert elapsed < 2 * US  # §5.1: 1.4 us for 4 MB
+    assert region.valid

@@ -1,0 +1,112 @@
+"""Property tests on the physical QP's slot accounting.
+
+The ``covers`` bookkeeping (slots freed on poll, unsignaled runs covered
+by the next signaled completion) is what KRCORE's Algorithm 2 relies on;
+random exclusive-owner workloads must never leak or double-free slots.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.sim import Simulator
+from repro.verbs import QpState, WorkRequest
+from tests.conftest import quick_rc_pair, register
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    batches=st.lists(
+        st.tuples(st.integers(1, 20), st.sampled_from(["all", "none", "last"])),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_exclusive_owner_slot_accounting(batches):
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=2)
+    qp, _ = quick_rc_pair(cluster.node(0), cluster.node(1), sq_depth=512)
+    laddr, lmr = register(cluster.node(0), 4096)
+    raddr, rmr = register(cluster.node(1), 4096)
+    posted = 0
+    signaled_count = 0
+
+    def proc():
+        nonlocal posted, signaled_count
+        for count, kind in batches:
+            wrs = []
+            for i in range(count):
+                if kind == "all":
+                    signaled = True
+                elif kind == "none":
+                    signaled = False
+                else:
+                    signaled = i == count - 1
+                wrs.append(
+                    WorkRequest.read(
+                        laddr, 8, lmr.lkey, raddr, rmr.rkey, wr_id=i, signaled=signaled
+                    )
+                )
+                signaled_count += signaled
+            qp.post_send(wrs)
+            posted += count
+        # Let everything complete, then poll the CQ dry.
+        yield 1_000_000
+        drained = []
+        while True:
+            got = qp.send_cq.poll(64)
+            if not got:
+                break
+            drained.extend(got)
+        return drained
+
+    drained = sim.run_process(proc())
+    assert qp.state is QpState.RTS
+    # One completion per signaled WR, all successful, in order per batch.
+    assert len(drained) == signaled_count
+    assert all(c.ok for c in drained)
+    # Slot accounting: total covers equals... everything except trailing
+    # unsignaled WRs (their slots stay held until a later signaled op).
+    total_covers = sum(c.covers for c in drained)
+    assert total_covers == posted - qp.outstanding
+    assert 0 <= qp.outstanding <= posted
+    # Whatever is still outstanding must be a trailing unsignaled run.
+    trailing_unsignaled = 0
+    for count, kind in reversed(batches):
+        if kind == "none":
+            trailing_unsignaled += count
+        elif kind == "last":
+            break
+        else:
+            break
+    assert qp.outstanding == trailing_unsignaled
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(st.sampled_from(["read", "write", "cas"]), min_size=1, max_size=25))
+def test_mixed_opcode_sequences_complete_in_order(ops):
+    sim = Simulator()
+    cluster = Cluster(sim, num_nodes=2)
+    qp, _ = quick_rc_pair(cluster.node(0), cluster.node(1))
+    laddr, lmr = register(cluster.node(0), 4096)
+    raddr, rmr = register(cluster.node(1), 4096)
+
+    def build(op, index):
+        if op == "read":
+            return WorkRequest.read(laddr, 8, lmr.lkey, raddr, rmr.rkey, wr_id=index)
+        if op == "write":
+            return WorkRequest.write(laddr, 8, lmr.lkey, raddr, rmr.rkey, wr_id=index)
+        return WorkRequest.cas(laddr, lmr.lkey, raddr, rmr.rkey, 0, 0, wr_id=index)
+
+    def proc():
+        qp.post_send([build(op, index) for index, op in enumerate(ops)])
+        seen = []
+        while len(seen) < len(ops):
+            completions = yield from qp.send_cq.wait_poll(len(ops))
+            seen.extend(completions)
+        return seen
+
+    seen = sim.run_process(proc())
+    assert [c.wr_id for c in seen] == list(range(len(ops)))
+    assert all(c.ok for c in seen)
+    assert qp.outstanding == 0

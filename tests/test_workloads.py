@@ -1,0 +1,100 @@
+"""Tests for the workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SEC
+from repro.workloads import (
+    LoadSpikeTrace,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    YcsbWorkload,
+    ZipfGenerator,
+)
+
+
+def test_zipf_is_deterministic_per_seed():
+    a = ZipfGenerator(1000, seed=5)
+    b = ZipfGenerator(1000, seed=5)
+    assert a.sample_many(50) == b.sample_many(50)
+
+
+def test_zipf_different_seeds_differ():
+    a = ZipfGenerator(1000, seed=5)
+    b = ZipfGenerator(1000, seed=6)
+    assert a.sample_many(50) != b.sample_many(50)
+
+
+def test_zipf_skews_towards_low_ranks():
+    gen = ZipfGenerator(1000, theta=0.99, seed=1)
+    samples = gen.sample_many(5000)
+    head = sum(1 for s in samples if s < 10)
+    assert head / len(samples) > 0.25  # the hot head dominates
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=1, max_value=500), seed=st.integers(0, 1000))
+def test_zipf_samples_in_range(n, seed):
+    gen = ZipfGenerator(n, seed=seed)
+    for _ in range(20):
+        assert 0 <= gen.sample() < n
+
+
+def test_zipf_rejects_empty_keyspace():
+    with pytest.raises(ValueError):
+        ZipfGenerator(0)
+
+
+def test_ycsb_c_is_read_only():
+    workload = YcsbWorkload(YCSB_C, num_keys=100)
+    assert all(workload.next_op()[0] == "read" for _ in range(200))
+
+
+def test_ycsb_a_is_half_updates():
+    workload = YcsbWorkload(YCSB_A, num_keys=100, seed=3)
+    updates = sum(1 for _ in range(2000) if workload.next_op()[0] == "update")
+    assert 0.4 < updates / 2000 < 0.6
+
+
+def test_ycsb_b_is_mostly_reads():
+    workload = YcsbWorkload(YCSB_B, num_keys=100, seed=3)
+    reads = sum(1 for _ in range(2000) if workload.next_op()[0] == "read")
+    assert reads / 2000 > 0.9
+
+
+def test_ycsb_rejects_bad_mix():
+    with pytest.raises(ValueError):
+        YcsbWorkload({"read": 0.5, "update": 0.2})
+
+
+def test_ycsb_load_keys_covers_keyspace():
+    workload = YcsbWorkload(num_keys=10)
+    keys = workload.load_keys()
+    assert len(keys) == 10
+    assert len(set(keys)) == 10
+
+
+def test_spike_trace_rates():
+    trace = LoadSpikeTrace(base_rate=1e6, spike_rate=5e6, spike_at_ns=SEC, end_ns=3 * SEC)
+    assert trace.rate_at(0) == 1e6
+    assert trace.rate_at(SEC) == 5e6
+    assert trace.rate_at(3 * SEC) == 1e6  # after the trace ends
+
+
+def test_spike_trace_rejects_downward_spike():
+    with pytest.raises(ValueError):
+        LoadSpikeTrace(base_rate=10, spike_rate=5)
+
+
+def test_spike_offered_integrates_across_boundary():
+    trace = LoadSpikeTrace(base_rate=100, spike_rate=300, spike_at_ns=SEC, end_ns=10 * SEC)
+    # Half a second at 100/s + half a second at 300/s.
+    offered = trace.offered_in_window(SEC // 2, 3 * SEC // 2)
+    assert offered == pytest.approx(50 + 150)
+
+
+def test_spike_offered_empty_window():
+    trace = LoadSpikeTrace(base_rate=100, spike_rate=300)
+    assert trace.offered_in_window(5, 5) == 0.0
