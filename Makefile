@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-fast bench bench-full
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Quick perf check: the perf smoke test (budgeted wall time, appends to
+# benchmarks/BENCH_<date>.json) plus one real figure with perf records.
+bench-fast:
+	$(PYTHON) -m pytest benchmarks/perf_smoke.py -m perf -q
+	$(PYTHON) -m repro.bench fig10 --perf-json $$(test -n "$$REPRO_PERF_JSON" && echo "$$REPRO_PERF_JSON" || echo benchmarks/BENCH_$$(date +%Y-%m-%d).json) --perf-label bench-fast
+
+# Regenerate every figure (fast mode) with perf records.
+bench:
+	$(PYTHON) -m repro.bench --perf-json $$(test -n "$$REPRO_PERF_JSON" && echo "$$REPRO_PERF_JSON" || echo benchmarks/BENCH_$$(date +%Y-%m-%d).json) --perf-label bench
+
+# Paper-scale regeneration (slow).
+bench-full:
+	$(PYTHON) -m repro.bench --full

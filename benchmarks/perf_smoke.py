@@ -1,0 +1,45 @@
+"""Perf smoke test: one small figure must finish inside a wall-time budget.
+
+Not part of the default pytest run (``testpaths`` only collects
+``tests/``); invoke explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py -m perf -q
+
+or via ``make bench-fast``.  The run's perf record (wall seconds, events
+dispatched, simulated ns, and the derived rates) is appended to the
+``BENCH_<date>.json`` trajectory file under ``benchmarks/`` -- override
+the destination with ``REPRO_PERF_JSON=/path/to/file.json``.
+
+The budget is deliberately loose (shared, noisy CI boxes): fig12 fast
+mode takes well under 2s on an unloaded core; the test fails only when
+the engine regresses by an order of magnitude, while the trajectory file
+records the precise number for humans to track PR over PR.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.perf import append_trajectory, default_trajectory_path, run_figure
+
+SMOKE_FIGURE = "fig12"
+WALL_BUDGET_S = 30.0
+
+
+@pytest.mark.perf
+def test_small_figure_within_wall_budget():
+    result, perf = run_figure(SMOKE_FIGURE, full=False)
+    assert result.tables, f"{SMOKE_FIGURE} produced no tables"
+    assert perf["events_dispatched"] > 0
+    assert perf["sim_ns"] > 0
+
+    path = os.environ.get("REPRO_PERF_JSON")
+    if path is None:
+        path = default_trajectory_path(pathlib.Path(__file__).parent)
+    append_trajectory(path, [perf], label="perf-smoke")
+
+    assert perf["wall_s"] < WALL_BUDGET_S, (
+        f"{SMOKE_FIGURE} took {perf['wall_s']:.1f}s, budget {WALL_BUDGET_S}s -- "
+        "the engine hot path has regressed"
+    )

@@ -1,14 +1,27 @@
 """Run figure reproductions from the command line.
 
-    python -m repro.bench            # every figure, fast mode
-    python -m repro.bench fig10      # one figure
-    python -m repro.bench --full     # paper-scale
+    python -m repro.bench                     # every figure, fast mode
+    python -m repro.bench fig10               # one figure
+    python -m repro.bench --full              # paper-scale
+    python -m repro.bench --jobs 4            # fan figures out over processes
+    python -m repro.bench --save-dir out/     # export every table as CSV
+    python -m repro.bench --perf-json benchmarks/BENCH_2026-08-07.json
+
+Figures are independent simulations, so ``--jobs N`` runs them across a
+``ProcessPoolExecutor``; results are printed in submission order and the
+tables/CSVs are identical to a serial run.  ``--save-dir DIR`` writes each
+table as ``<figure>-<n>.csv`` under DIR.  ``--perf-json PATH`` appends one
+record per figure -- wall seconds, events dispatched, simulated ns, and the
+derived events/sec and simulated-ns/sec -- to a ``BENCH_<date>.json``
+trajectory file (see ``repro.bench.perf``), building a perf history of the
+engine PR over PR.
 """
 
 import argparse
-import importlib
 import sys
 import time
+
+from repro.bench.perf import append_trajectory, load_trajectory, run_figure
 
 ALL_FIGURES = [
     "fig01", "fig03", "fig08", "fig09", "fig10", "fig11",
@@ -30,15 +43,59 @@ def main(argv=None):
         "--full", action="store_true",
         help="run at the paper's scale (240 clients, 180 workers)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run figures in N worker processes (figures are independent; "
+             "output is identical to a serial run)",
+    )
+    parser.add_argument(
+        "--save-dir", metavar="DIR",
+        help="write each figure's tables as <figure>-<n>.csv under DIR",
+    )
+    parser.add_argument(
+        "--perf-json", metavar="PATH",
+        help="append per-figure perf records (wall s, events/s, sim-ns/s) "
+             "to this BENCH_<date>.json trajectory file",
+    )
+    parser.add_argument(
+        "--perf-label", metavar="TEXT",
+        help="label stored with the run in the perf trajectory file",
+    )
     args = parser.parse_args(argv)
     for name in args.figures:
         if name not in ALL_FIGURES:
             parser.error(f"unknown figure {name!r}; choose from {ALL_FIGURES}")
-        module = importlib.import_module(f"repro.bench.{name}")
-        started = time.time()
-        result = module.run(fast=not args.full)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.perf_json:
+        try:  # fail fast, before the (possibly long) figure runs
+            load_trajectory(args.perf_json)
+        except ValueError as err:
+            parser.error(str(err))
+
+    perf_records = []
+    started = time.perf_counter()
+    if args.jobs == 1 or len(args.figures) == 1:
+        outcomes = (run_figure(name, full=args.full) for name in args.figures)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=min(args.jobs, len(args.figures)))
+        futures = [pool.submit(run_figure, name, args.full) for name in args.figures]
+        outcomes = (future.result() for future in futures)
+    for name, (result, perf) in zip(args.figures, outcomes):
         result.show()
-        print(f"[{name} regenerated in {time.time() - started:.1f}s wall time]")
+        print(f"[{name} regenerated in {perf['wall_s']:.1f}s wall time]")
+        perf_records.append(perf)
+        if args.save_dir:
+            result.save_csv(args.save_dir, name)
+    if args.jobs > 1 and len(args.figures) > 1:
+        pool.shutdown()
+        print(f"[{len(args.figures)} figures with --jobs {args.jobs}: "
+              f"{time.perf_counter() - started:.1f}s wall time total]")
+    if args.perf_json:
+        path = append_trajectory(args.perf_json, perf_records, label=args.perf_label)
+        print(f"[perf trajectory appended to {path}]")
     return 0
 
 

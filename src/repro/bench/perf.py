@@ -1,0 +1,103 @@
+"""Perf instrumentation for figure runs: counters, timing, trajectory files.
+
+The engine counts every callback it dispatches (`Simulator.events_dispatched`
+per instance, `Simulator.total_events_dispatched` / `total_sim_ns`
+process-wide).  :func:`run_figure` samples those totals around one figure
+reproduction and returns the figure's result together with a perf record:
+wall seconds, events dispatched, simulated nanoseconds, and the derived
+events/sec and simulated-ns/sec rates.
+
+:func:`append_trajectory` appends a run's records to a ``BENCH_<date>.json``
+trajectory file, so the repo accumulates a machine-readable perf history
+PR over PR (`python -m repro.bench --perf-json PATH`, and the perf smoke
+test in ``benchmarks/perf_smoke.py``).
+"""
+
+import gc
+import importlib
+import json
+import pathlib
+import time
+
+
+def run_figure(name, full=False):
+    """Run one figure module and return ``(FigureResult, perf_record)``.
+
+    The cyclic GC is paused for the duration of the run: the engine
+    allocates millions of short-lived resume records and tuples per
+    figure, and generation-0 collections cost ~20% of wall time while
+    reclaiming almost nothing that refcounting doesn't already.  It is
+    re-enabled (with one full collection) before returning.
+    """
+    from repro.sim import Simulator
+
+    module = importlib.import_module(f"repro.bench.{name}")
+    events_before = Simulator.total_events_dispatched
+    sim_ns_before = Simulator.total_sim_ns
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    started = time.perf_counter()
+    try:
+        result = module.run(fast=not full)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+    wall_s = time.perf_counter() - started
+    events = Simulator.total_events_dispatched - events_before
+    sim_ns = Simulator.total_sim_ns - sim_ns_before
+    perf = {
+        "figure": name,
+        "mode": "full" if full else "fast",
+        "wall_s": round(wall_s, 3),
+        "events_dispatched": events,
+        "sim_ns": sim_ns,
+        "events_per_sec": round(events / wall_s) if wall_s > 0 else None,
+        "sim_ns_per_sec": round(sim_ns / wall_s) if wall_s > 0 else None,
+    }
+    return result, perf
+
+
+def default_trajectory_path(directory="benchmarks"):
+    """The conventional trajectory file for today: BENCH_<YYYY-MM-DD>.json."""
+    stamp = time.strftime("%Y-%m-%d")
+    return pathlib.Path(directory) / f"BENCH_{stamp}.json"
+
+
+def load_trajectory(path):
+    """Load ``path`` as a trajectory dict, or a fresh one if absent.
+
+    A corrupt or foreign file is never clobbered -- it raises ValueError
+    (call this *before* a long run to fail fast).
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return {"schema": 1, "runs": []}
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as err:
+        raise ValueError(f"{path} is not a BENCH trajectory file: {err}") from err
+    if not isinstance(data, dict) or "runs" not in data:
+        raise ValueError(f"{path} is not a BENCH trajectory file")
+    return data
+
+
+def append_trajectory(path, figure_records, label=None):
+    """Append one run (a list of per-figure perf records) to ``path``.
+
+    The file holds ``{"schema": 1, "runs": [...]}``; each run carries a
+    timestamp, an optional label, and its per-figure records.  A corrupt
+    or foreign file is not clobbered -- it raises instead.
+    """
+    path = pathlib.Path(path)
+    data = load_trajectory(path)
+    run = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "figures": list(figure_records),
+    }
+    if label:
+        run["label"] = label
+    data["runs"].append(run)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path

@@ -14,6 +14,7 @@ class Fabric:
     def __init__(self, sim):
         self.sim = sim
         self._nodes = {}
+        self._one_way_cache = {}
 
     def attach(self, node):
         if node.gid in self._nodes:
@@ -35,5 +36,13 @@ class Fabric:
         return list(self._nodes.values())
 
     def one_way_ns(self, nbytes):
-        """Propagation + serialization for ``nbytes`` of payload one way."""
-        return timing.WIRE_ONE_WAY_NS + timing.wire_transfer_ns(nbytes)
+        """Propagation + serialization for ``nbytes`` of payload one way.
+
+        Memoized per size: called for every request and response, over a
+        handful of distinct sizes per figure.
+        """
+        cached = self._one_way_cache.get(nbytes)
+        if cached is not None:
+            return cached
+        self._one_way_cache[nbytes] = result = timing.WIRE_ONE_WAY_NS + timing.wire_transfer_ns(nbytes)
+        return result

@@ -81,12 +81,23 @@ RESPONDER_SMALL_TIER_BYTES = 240
 RESPONDER_BULK_NS_PER_BYTE = WIRE_NS_PER_BYTE
 
 
+_payload_service_cache = {}
+
+
 def responder_payload_service_ns(nbytes):
-    """Extra responder occupancy for a payload of ``nbytes``."""
+    """Extra responder occupancy for a payload of ``nbytes``.
+
+    Memoized: called once per WR, and a figure sweep uses a handful of
+    distinct payload sizes.
+    """
+    cached = _payload_service_cache.get(nbytes)
+    if cached is not None:
+        return cached
     extra = max(0, nbytes - RESPONDER_SERVICE_FREE_BYTES)
     small = min(extra, RESPONDER_SMALL_TIER_BYTES) * RESPONDER_SERVICE_NS_PER_BYTE
     bulk = max(0, extra - RESPONDER_SMALL_TIER_BYTES) * RESPONDER_BULK_NS_PER_BYTE
-    return small + bulk
+    _payload_service_cache[nbytes] = result = small + bulk
+    return result
 
 #: RDMA request header bytes on the wire (simplified BTH+RETH).
 REQUEST_HEADER_BYTES = 30

@@ -23,6 +23,7 @@ from repro.verbs import (
     WorkRequest,
 )
 from repro.verbs.connection import rc_connect
+from repro.verbs.types import QpState
 
 #: Reserved port for kernel-to-kernel control messages.
 KERNEL_PORT = 0
@@ -295,8 +296,6 @@ class KrcoreModule:
         when that happens the error is dispatched to the owning VQP and a
         background repair reconfigures the physical QP.
         """
-        from repro.verbs.types import QpState
-
         completions = qp.send_cq.poll(64)
         saw_error = False
         for wc in completions:

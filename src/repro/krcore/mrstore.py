@@ -73,6 +73,21 @@ class MrStore:
             return None
         return entry[1]
 
+    def check_cached(self, gid, rkey, addr, length):
+        """Non-blocking :meth:`check` against the cache only.
+
+        Returns the boolean verdict on a hit, or ``None`` on a miss (the
+        caller must then run :meth:`check`, which may block on a
+        meta-server lookup).  Lets the per-WR hot path skip a generator
+        when the MR is already cached -- the overwhelmingly common case.
+        """
+        entry = self._cache.get((gid, rkey))
+        if entry is None or entry[0] != self.sim.now // self.lease_ns:
+            return None
+        self.stats_hits += 1
+        base, span = entry[1]
+        return base <= addr and addr + length <= base + span
+
     def check(self, gid, rkey, addr, length, cpu_id=0):
         """Process: validate a remote access, querying ValidMR on a miss.
 

@@ -15,6 +15,7 @@ hinges on three duties the paper spells out (§4.4):
 from collections import deque
 
 from repro.cluster import timing
+from repro.verbs.errors import VerbsError
 from repro.verbs.types import POSTABLE_OPCODES, Opcode, QpType, WcStatus
 
 
@@ -137,9 +138,11 @@ class Vqp:
                 raise KrcoreError(f"invalid local MR (lkey={wr.lkey})")
             if wr.opcode in (Opcode.READ, Opcode.WRITE, Opcode.CAS, Opcode.FETCH_ADD):
                 span = 8 if wr.opcode in (Opcode.CAS, Opcode.FETCH_ADD) else wr.length
-                ok = yield from module.mr_store.check(
-                    self.remote_gid, wr.rkey, wr.raddr, span, cpu_id=self.cpu_id
-                )
+                ok = module.mr_store.check_cached(self.remote_gid, wr.rkey, wr.raddr, span)
+                if ok is None:  # cache miss: blocking meta-server path
+                    ok = yield from module.mr_store.check(
+                        self.remote_gid, wr.rkey, wr.raddr, span, cpu_id=self.cpu_id
+                    )
                 if not ok:
                     raise KrcoreError(f"invalid remote MR (rkey={wr.rkey})")
         # --- build the physical requests (lines 4-17) ---
@@ -174,8 +177,6 @@ class Vqp:
                 yield qp.send_cq.wait()
         # No simulated time may pass between the capacity check and the
         # post: the two lines below are atomic in the event loop.
-        from repro.verbs.errors import VerbsError
-
         try:
             qp.post_send(phys)
         except VerbsError as err:

@@ -1,6 +1,43 @@
-"""The discrete-event engine: simulator clock, events, and processes."""
+"""The discrete-event engine: simulator clock, events, and processes.
+
+Hot-path notes
+--------------
+
+The engine dispatches tens of millions of callbacks per figure, so the
+scheduler is split in two:
+
+* a binary heap (``_heap``) for callbacks in the future, and
+* a FIFO ready-deque (``_ready``) for callbacks at the current timestamp
+  (zero-delay schedules, event dispatch, process starts), which skips the
+  ``heapq`` log-n push/pop entirely.
+
+Both share one monotonically increasing sequence counter, and the run loop
+always executes the lowest pending sequence number at the current
+timestamp, so the observable order is *identical* to a single heap keyed on
+``(time, seq)``: same-timestamp callbacks run in schedule (FIFO) order.
+``tests/test_sim_engine_perf.py`` checks this equivalence against a copy of
+the heap-only engine on randomized schedules.
+
+Waiter wake-ups are encoded inline in the queue records instead of
+per-event lambdas and per-yield closures: a queue entry's argument slot
+holds ``None`` for a plain callback, an ``int`` wait-generation for a
+timer resume, or a ``(gen, event)`` tuple for an event-waiter resume, and
+the run loop performs the resume directly.  ``Process._wait_on`` has fast
+paths for the two overwhelmingly common yield targets — an integer
+timeout and an already-triggered event — that skip the intermediate
+``Event`` machinery while consuming the same sequence numbers (order
+stays bit-identical).
+
+The engine counts work as it goes: ``Simulator.events_dispatched`` is the
+exact number of callbacks the instance's run loop executed, and the
+class-level ``Simulator.total_events_dispatched`` / ``total_sim_ns``
+aggregate across all instances in the process (the bench runner's perf
+JSON is derived from them).
+"""
 
 import heapq
+from collections import deque
+from heapq import heappush
 
 
 class SimulationError(Exception):
@@ -35,7 +72,7 @@ class Event:
         self.value = None
         self._exc = None
         self._triggered = False
-        self._waiters = []
+        self._waiters = None  # lazily a list: most events get 0 or 1 waiters
 
     @property
     def triggered(self):
@@ -51,7 +88,9 @@ class Event:
             raise SimulationError("event triggered twice")
         self._triggered = True
         self.value = value
-        self._dispatch()
+        waiters = self._waiters
+        if waiters:
+            self._dispatch(waiters)
         return self
 
     def fail(self, exc):
@@ -61,20 +100,38 @@ class Event:
             raise SimulationError("Event.fail expects an exception instance")
         self._triggered = True
         self._exc = exc
-        self._dispatch()
+        waiters = self._waiters
+        if waiters:
+            self._dispatch(waiters)
         return self
 
-    def _dispatch(self):
+    def _dispatch(self, waiters):
         """Run waiters through the scheduler (same timestamp) rather than
-        synchronously, so triggering code never reenters waiter code."""
-        waiters, self._waiters = self._waiters, []
+        synchronously, so triggering code never reenters waiter code.
+
+        A waiter is either a ``(process, gen)`` tuple (a suspended
+        process, see ``Process._wait_on``) -- re-encoded so the run loop
+        resumes it without any intermediate call -- or a plain callable
+        from :meth:`add_callback`, invoked as ``callback(event)``.
+        """
+        self._waiters = None
+        sim = self.sim
+        seq = sim._seq
+        ready = sim._ready
         for waiter in waiters:
-            self.sim._schedule_now(lambda w=waiter: w(self))
+            seq += 1
+            if waiter.__class__ is tuple:
+                ready.append((seq, waiter[0], (waiter[1], self)))
+            else:
+                ready.append((seq, waiter, self))
+        sim._seq = seq
 
     def add_callback(self, callback):
         """Invoke ``callback(event)`` when the event fires (or now if fired)."""
         if self._triggered:
-            self.sim._schedule_now(lambda: callback(self))
+            self.sim._schedule_call(callback, self)
+        elif self._waiters is None:
+            self._waiters = [callback]
         else:
             self._waiters.append(callback)
 
@@ -99,6 +156,49 @@ class AnyOf:
         self.children = list(children)
 
 
+class _TimerResume:
+    """Resume record for a process suspended on a *zero-delay* timeout.
+
+    Fires in two hops through the ready queue, consuming sequence numbers
+    exactly like the equivalent timeout ``Event``'s trigger-then-dispatch
+    would, so callback order is identical to the event-based slow path.
+    (Positive-delay timeouts skip even this record: the run loop
+    recognizes ``(when, seq, process, gen)`` queue entries — ``gen`` an
+    int — and performs the same two hops inline.)
+    """
+
+    __slots__ = ("process", "gen", "fired")
+
+    def __init__(self, process, gen):
+        self.process = process
+        self.gen = gen
+        self.fired = False
+
+    def __call__(self):
+        process = self.process
+        if not self.fired:
+            self.fired = True
+            sim = process.sim
+            sim._seq += 1
+            sim._ready.append((sim._seq, self, None))
+            return
+        if process._wait_gen == self.gen:
+            process._resume(None, None)
+
+
+class _EventTrigger:
+    """Deferred ``event.trigger(value)`` without a lambda per timeout."""
+
+    __slots__ = ("event", "trigger_value")
+
+    def __init__(self, event, value):
+        self.event = event
+        self.trigger_value = value
+
+    def __call__(self):
+        self.event.trigger(self.trigger_value)
+
+
 class Process:
     """A running generator, driven by the simulator.
 
@@ -108,16 +208,24 @@ class Process:
     from :meth:`Simulator.run` so failures never pass silently.
     """
 
-    __slots__ = ("sim", "name", "_gen", "_done", "_interrupts", "_suspended_on")
+    __slots__ = (
+        "sim", "name", "_gen", "_send", "_throw", "_done", "_interrupts", "_wait_gen",
+    )
 
     def __init__(self, sim, gen, name=None):
         self.sim = sim
         self.name = name or getattr(gen, "__name__", "process")
         self._gen = gen
+        self._send = gen.send
+        self._throw = gen.throw
         self._done = Event(sim)
-        self._interrupts = []
-        self._suspended_on = None
-        sim._schedule_now(lambda: self._resume(None, None))
+        self._interrupts = None  # lazily a deque: most processes never see one
+        self._wait_gen = 0
+        sim._seq += 1
+        sim._ready.append((sim._seq, self._start, None))
+
+    def _start(self):
+        self._resume(None, None)
 
     @property
     def done_event(self):
@@ -131,34 +239,48 @@ class Process:
         """Throw :class:`Interrupt` into the process at its current yield."""
         if not self.is_alive:
             return
+        if self._interrupts is None:
+            self._interrupts = deque()
         self._interrupts.append(Interrupt(cause))
-        self.sim._schedule_now(self._deliver_interrupt)
+        self.sim._schedule_call(self._deliver_interrupt, None)
 
     def _deliver_interrupt(self):
         if not self.is_alive or not self._interrupts:
             return
-        exc = self._interrupts.pop(0)
-        self._suspended_on = None
+        exc = self._interrupts.popleft()
+        self._wait_gen += 1  # invalidate whatever the process was waiting on
         self._resume(None, exc)
 
     def _resume(self, value, exc):
-        if self._done.triggered:
+        if self._done._triggered:
             return
-        self.sim._current = self
+        sim = self.sim
         try:
             if exc is not None:
-                target = self._gen.throw(exc)
+                target = self._throw(exc)
             else:
-                target = self._gen.send(value)
+                target = self._send(value)
         except StopIteration as stop:
-            self.sim._current = None
             self._finish(getattr(stop, "value", None), None)
             return
         except BaseException as err:  # noqa: BLE001 - must forward any failure
-            self.sim._current = None
             self._finish(None, err)
             return
-        self.sim._current = None
+        if target.__class__ is int:
+            # Fast path, inlined: a plain timeout needs no Event at all.
+            # Zero delays go to the ready deque -- run() relies on heap
+            # entries being strictly in the future.
+            if target <= 0:
+                if target < 0:
+                    raise SimulationError("cannot schedule into the past")
+                self._wait_gen = gen = self._wait_gen + 1
+                sim._seq += 1
+                sim._ready.append((sim._seq, _TimerResume(self, gen), None))
+                return
+            self._wait_gen = gen = self._wait_gen + 1
+            sim._seq += 1
+            heappush(sim._heap, (sim.now + target, sim._seq, self, gen))
+            return
         self._wait_on(target)
 
     def _finish(self, value, exc):
@@ -170,28 +292,57 @@ class Process:
             self._done.fail(exc)
 
     def _wait_on(self, target):
-        token = object()
-        self._suspended_on = token
-
-        def resume_from_event(event):
-            if self._suspended_on is not token:
-                return  # superseded by an interrupt
-            self._suspended_on = None
-            self._resume(event.value, event._exc)
-
-        event = self.sim._as_event(target)
-        event.add_callback(resume_from_event)
+        sim = self.sim
+        self._wait_gen = gen = self._wait_gen + 1
+        cls = target.__class__
+        if cls is Event:
+            event = target
+        elif isinstance(target, Process):
+            event = target._done
+        elif isinstance(target, Event):
+            event = target
+        elif isinstance(target, int):  # bool and other int subclasses
+            delay = int(target)
+            if delay < 0:
+                raise SimulationError("cannot schedule into the past")
+            sim._seq += 1
+            if delay == 0:
+                sim._ready.append((sim._seq, _TimerResume(self, gen), None))
+            else:
+                heappush(sim._heap, (sim.now + delay, sim._seq, self, gen))
+            return
+        else:
+            event = sim._as_event(target)
+        if event._triggered:
+            # Already fired: resume through the ready queue directly, in
+            # the inline encoding the run loop understands.
+            sim._seq += 1
+            sim._ready.append((sim._seq, self, (gen, event)))
+        elif event._waiters is None:
+            event._waiters = [(self, gen)]
+        else:
+            event._waiters.append((self, gen))
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of pending callbacks."""
+    """The event loop: a clock, a ready FIFO for the current timestamp, and
+    a priority queue of future callbacks."""
+
+    #: Process-wide totals across every Simulator instance, folded in when
+    #: each ``run()`` returns.  The bench runner samples these around a
+    #: figure to report events/sec and simulated-ns/sec.
+    total_events_dispatched = 0
+    total_sim_ns = 0
 
     def __init__(self):
         self.now = 0
         self._heap = []
+        self._ready = deque()
         self._seq = 0
         self._current = None
-        self._orphan_failures = []
+        self._orphan_failures = deque()
+        #: Exact number of callbacks this instance's run loop has executed.
+        self.events_dispatched = 0
 
     # -- scheduling ---------------------------------------------------------
 
@@ -199,16 +350,27 @@ class Simulator:
         """Run ``callback()`` after ``delay`` nanoseconds."""
         if delay < 0:
             raise SimulationError("cannot schedule into the past")
+        delay = int(delay)
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + int(delay), self._seq, callback))
+        if delay == 0:
+            # run() relies on heap entries being strictly in the future.
+            self._ready.append((self._seq, callback, None))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, callback, None))
+
+    def _schedule_call(self, callback, arg):
+        """Enqueue ``callback(arg)`` (or ``callback()`` if arg is None) at
+        the current timestamp, in FIFO order with everything else."""
+        self._seq += 1
+        self._ready.append((self._seq, callback, arg))
 
     def _schedule_now(self, callback):
-        self.schedule(0, callback)
+        self._schedule_call(callback, None)
 
     def timeout(self, delay, value=None):
         """An event that triggers after ``delay`` nanoseconds."""
         event = Event(self)
-        self.schedule(delay, lambda: event.trigger(value))
+        self.schedule(delay, _EventTrigger(event, value))
         return event
 
     def event(self):
@@ -286,17 +448,110 @@ class Simulator:
     # -- running -------------------------------------------------------------
 
     def run(self, until=None):
-        """Drain the event queue, stopping after simulated time ``until``."""
-        while self._heap:
-            when, _seq, callback = self._heap[0]
-            if until is not None and when > until:
-                break
-            heapq.heappop(self._heap)
-            self.now = when
-            callback()
-            if self._orphan_failures:
-                _process, exc = self._orphan_failures.pop(0)
-                raise exc
+        """Drain the event queue, stopping after simulated time ``until``.
+
+        Dispatch order is by (timestamp, schedule sequence): the ready
+        deque holds only current-timestamp callbacks (always enqueued
+        after any heap entry that shares their timestamp was *scheduled*,
+        never before it in sequence order... the sequence comparison below
+        arbitrates the one ambiguous case: a heap entry that matured at
+        exactly the current timestamp with a lower sequence number than
+        the ready head).
+        """
+        heap = self._heap
+        ready = self._ready
+        popheap = heapq.heappop
+        popready = ready.popleft
+        dispatched = 0
+        start_ns = self.now
+        orphans = self._orphan_failures
+        # Sequence number of the heap head iff it matured at the current
+        # timestamp, else None.  Heap pushes are strictly in the future
+        # (zero delays go to the ready deque), so this only changes when
+        # the loop itself pops the heap or advances the clock.
+        if heap and heap[0][0] == self.now:
+            heap_seq = heap[0][1]
+        else:
+            heap_seq = None
+        try:
+            while True:
+                if ready:
+                    if until is not None and self.now > until:
+                        break
+                    if heap_seq is not None and heap_seq < ready[0][0]:
+                        head = popheap(heap)
+                        callback = head[2]
+                        arg = head[3]
+                        if heap and heap[0][0] == self.now:
+                            heap_seq = heap[0][1]
+                        else:
+                            heap_seq = None
+                        if arg.__class__ is int:
+                            # Timer maturing (hop 1 of 2): requeue the
+                            # resume at the next sequence number, exactly
+                            # where a timeout Event's trigger would have
+                            # dispatched its waiter.
+                            dispatched += 1
+                            self._seq += 1
+                            ready.append((self._seq, callback, arg))
+                            continue
+                    else:
+                        _seq, callback, arg = popready()
+                        if arg.__class__ is int:
+                            # Timer resume (hop 2 of 2): callback is the
+                            # process, arg its wait generation.
+                            dispatched += 1
+                            if callback._wait_gen == arg:
+                                callback._resume(None, None)
+                            if orphans:
+                                _process, exc = orphans.popleft()
+                                raise exc
+                            continue
+                        if arg.__class__ is tuple:
+                            # Event waiter resume: callback is the process,
+                            # arg its (wait generation, event).  A stale
+                            # generation means an interrupt superseded it.
+                            dispatched += 1
+                            gen = arg[0]
+                            if callback._wait_gen == gen:
+                                event = arg[1]
+                                callback._resume(event.value, event._exc)
+                            if orphans:
+                                _process, exc = orphans.popleft()
+                                raise exc
+                            continue
+                elif heap:
+                    head = heap[0]
+                    when = head[0]
+                    if until is not None and when > until:
+                        break
+                    popheap(heap)
+                    self.now = when
+                    callback = head[2]
+                    arg = head[3]
+                    if heap and heap[0][0] == when:
+                        heap_seq = heap[0][1]
+                    else:
+                        heap_seq = None
+                    if arg.__class__ is int:
+                        dispatched += 1
+                        self._seq += 1
+                        ready.append((self._seq, callback, arg))
+                        continue
+                else:
+                    break
+                dispatched += 1
+                if arg is None:
+                    callback()
+                else:
+                    callback(arg)
+                if orphans:
+                    _process, exc = orphans.popleft()
+                    raise exc
+        finally:
+            self.events_dispatched += dispatched
+            Simulator.total_events_dispatched += dispatched
+            Simulator.total_sim_ns += self.now - start_ns
         if until is not None and self.now < until:
             self.now = int(until)
 

@@ -59,6 +59,8 @@ class CompletionQueue:
         Polling releases the send-queue slots the completion covers, exactly
         as the real driver reclaims ring entries on poll.
         """
+        if not self._entries:
+            return []
         polled = []
         while self._entries and len(polled) < num_entries:
             completion = self._entries.popleft()

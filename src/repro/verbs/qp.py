@@ -81,6 +81,7 @@ class QueuePair:
         self._dc_last_retarget_ns = -(10 ** 12)
         self._dc_lcg = self.qpn * 2654435761 % (1 << 64) or 1
         self.stats_reconnects = 0
+        self._flight_name = f"qp{self.qpn}-flight"
         self.sim.process(self._sender_loop(), name=f"qp{self.qpn}-sender")
 
     # ------------------------------------------------------------------ state
@@ -188,7 +189,7 @@ class QueuePair:
             yield timing.NIC_TX_NS
             done = self.sim.event()
             prev, self._last_done = self._last_done, done
-            self.sim.process(self._flight(wr, prev, done), name=f"qp{self.qpn}-flight")
+            self.sim.process(self._flight(wr, prev, done), name=self._flight_name)
 
     def _dc_retarget(self, wr):
         """Hardware-offloaded DCT (re)connection before issuing ``wr``.
@@ -214,26 +215,105 @@ class QueuePair:
         yield delay
 
     def _flight(self, wr, prev_done, done):
-        """One WR's life on the network, ending with in-order completion."""
+        """One WR's life on the network, ending with in-order completion.
+
+        The READ/WRITE path inlines ``_fetch_local``/``_remote_gid``/
+        ``_resolve_remote``/``_execute_remote``/``Rnic.serve_inbound``:
+        this generator is resumed for every hop of every WR, and each
+        nested ``yield from`` frame is traversed on every resume.  The
+        yield sequence and error mapping are identical to the helpers,
+        which remain for the other opcodes.
+        """
         status = WcStatus.SUCCESS
         byte_len = 0
+        node = self.node
+        fabric = node.fabric
         try:
-            if wr.opcode not in POSTABLE_OPCODES:
+            opcode = wr.opcode
+            length = wr.length
+            if opcode not in POSTABLE_OPCODES:
                 raise _Malformed(WcStatus.BAD_OPCODE_ERR)
-            payload = self._fetch_local(wr)
-            remote_gid = self._remote_gid(wr)
+            # -- local SGE validation (_fetch_local) --
+            if length == 0 and opcode is Opcode.SEND:
+                payload = b""
+            else:
+                try:
+                    node.memory.check_local(wr.lkey, wr.laddr, length)
+                except MemoryError_ as err:
+                    raise _Malformed(WcStatus.LOC_PROT_ERR) from err
+                if opcode in (Opcode.WRITE, Opcode.SEND):
+                    payload = node.memory.read(wr.laddr, length)
+                else:
+                    payload = None
+            # -- remote addressing (_remote_gid) --
+            if self.qp_type is QpType.RC:
+                if self.remote is None:
+                    raise _Malformed(WcStatus.RETRY_EXC_ERR)
+                remote_gid = self.remote[0]
+            else:
+                remote_gid = wr.dct_gid
+                if remote_gid is None:
+                    raise _Malformed(WcStatus.BAD_OPCODE_ERR)
             request_bytes = timing.REQUEST_HEADER_BYTES
-            if wr.opcode in (Opcode.WRITE, Opcode.SEND):
-                request_bytes += wr.length
-            wire_out = self.node.fabric.one_way_ns(request_bytes)
-            if wr.opcode is Opcode.WRITE:
-                wire_out += int(wr.length * timing.WRITE_EXTRA_NS_PER_BYTE)
+            if opcode in (Opcode.WRITE, Opcode.SEND):
+                request_bytes += length
+            wire_out = fabric.one_way_ns(request_bytes)
+            if opcode is Opcode.WRITE:
+                wire_out += int(length * timing.WRITE_EXTRA_NS_PER_BYTE)
             yield wire_out
-            remote_node = self._resolve_remote(remote_gid, wr)
-            response_bytes = yield from self._execute_remote(remote_node, wr, payload)
-            yield self.node.fabric.one_way_ns(response_bytes)
+            # -- remote lookup (_resolve_remote) --
+            if not fabric.has_node(remote_gid):
+                if self.qp_type is QpType.UD:
+                    raise _UdDrop()
+                raise _Malformed(WcStatus.RETRY_EXC_ERR)
+            remote_node = fabric.node(remote_gid)
+            if self.qp_type is QpType.DC:
+                target = remote_node.rnic.dct_target(wr.dct_number)
+                if target is None or target.key != wr.dct_key:
+                    raise _Malformed(WcStatus.REM_ACCESS_ERR)
+            # -- responder processing --
+            if opcode is Opcode.READ or opcode is Opcode.WRITE:
+                rnic = remote_node.rnic
+                memory = remote_node.memory
+                if opcode is Opcode.READ:
+                    service = timing.READ_RESPONDER_SERVICE_NS
+                    service += timing.responder_payload_service_ns(length)
+                    if self.qp_type is QpType.DC:
+                        service += timing.DC_READ_SERVICE_EXTRA_NS
+                else:
+                    service = timing.WRITE_RESPONDER_SERVICE_NS
+                    service += timing.responder_payload_service_ns(length)
+                    if self.qp_type is QpType.DC:
+                        service += timing.DC_WRITE_SERVICE_EXTRA_NS
+                total = service + rnic._service_carry
+                whole = int(total)
+                rnic._service_carry = total - whole
+                resource = rnic.inbound_engine
+                grant = yield resource.acquire()
+                try:
+                    yield whole
+                finally:
+                    resource.release(grant)
+                rnic.stats_inbound_ops += 1
+                yield timing.NIC_RESPONDER_PIPELINE_NS
+                try:
+                    if opcode is Opcode.READ:
+                        memory.check_remote(wr.rkey, wr.raddr, length, write=False)
+                        node.memory.write(wr.laddr, memory.read(wr.raddr, length))
+                        response_bytes = length
+                    else:
+                        memory.check_remote(wr.rkey, wr.raddr, length, write=True)
+                        memory.write(wr.raddr, payload)
+                        response_bytes = 0
+                except MemoryError_ as err:
+                    if self.qp_type is QpType.UD:
+                        raise _UdDrop() from err
+                    raise _Malformed(WcStatus.REM_ACCESS_ERR) from err
+            else:
+                response_bytes = yield from self._execute_remote(remote_node, wr, payload)
+            yield fabric.one_way_ns(response_bytes)
             yield timing.NIC_RX_COMPLETION_NS
-            byte_len = wr.length
+            byte_len = length
         except _UdDrop:
             # Unreliable datagram: the packet vanished; the sender still
             # completes successfully and never learns.
@@ -241,7 +321,7 @@ class QueuePair:
         except _Malformed as malformed:
             status = malformed.status
             # The NAK still travels back before the requester learns of it.
-            yield self.node.fabric.one_way_ns(0)
+            yield fabric.one_way_ns(0)
             yield timing.NIC_RX_COMPLETION_NS
         # Deliver completions in posting order (RC FIFO, §4.6).
         if prev_done is not None and not prev_done.triggered:

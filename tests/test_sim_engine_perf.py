@@ -1,0 +1,146 @@
+"""Order-equivalence and dispatch-counter tests for the optimized engine.
+
+The production engine (``repro.sim.engine``) replaces the seed's single
+event heap with a FIFO ready-deque for same-timestamp work plus a heap
+that only ever holds strictly-future entries, and encodes timer resumes
+inline in the queue entries.  Everything downstream -- the bit-for-bit
+deterministic figure reproductions above all -- depends on one property:
+for any schedule, callbacks execute in *exactly* the order the seed
+engine would have executed them (same-timestamp FIFO by schedule
+sequence).
+
+``tests/_seed_engine_reference.py`` is a verbatim copy of the seed
+engine, kept as the ordering oracle.  The hypothesis test below generates
+random programs (processes that sleep, wait on events, trigger events,
+schedule bare callbacks, and spawn sub-processes), interprets each
+program on both engines, and asserts the execution traces are identical.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.engine as new_engine
+import tests._seed_engine_reference as seed_engine
+
+NUM_EVENTS = 4
+
+# One step of a process script.  ``spawn`` targets only strictly-higher
+# script indices, so programs form a DAG and always terminate.
+_step = st.one_of(
+    st.tuples(st.just("sleep"), st.integers(min_value=0, max_value=4)),
+    st.tuples(st.just("wait"), st.integers(min_value=0, max_value=NUM_EVENTS - 1)),
+    st.tuples(st.just("trigger"), st.integers(min_value=0, max_value=NUM_EVENTS - 1)),
+    st.tuples(st.just("sched"), st.integers(min_value=0, max_value=4)),
+    st.tuples(st.just("spawn"), st.integers(min_value=0, max_value=10 ** 6)),
+)
+
+_scripts = st.lists(
+    st.lists(_step, min_size=0, max_size=6), min_size=1, max_size=5
+)
+
+_roots = st.lists(st.integers(min_value=0, max_value=10 ** 6), min_size=1, max_size=4)
+
+
+def _interpret(engine, scripts, roots):
+    """Run the program on ``engine`` and return its execution trace.
+
+    The trace records (sim.now, which script, which instance, which step)
+    at every resume point, plus scheduled-callback firings -- a total
+    order over everything the engine dispatched.
+    """
+    sim = engine.Simulator()
+    events = [sim.event() for _ in range(NUM_EVENTS)]
+    trace = []
+    instances = [0]
+
+    def make(script_idx):
+        instances[0] += 1
+        inst = instances[0]
+
+        def body():
+            for step_no, (op, arg) in enumerate(scripts[script_idx]):
+                trace.append((sim.now, script_idx, inst, step_no, op))
+                if op == "sleep":
+                    yield arg
+                elif op == "wait":
+                    # Waiting on an already-triggered event resumes via the
+                    # queue as well; exercise both states.
+                    yield events[arg]
+                elif op == "trigger":
+                    if not events[arg].triggered:
+                        events[arg].trigger((script_idx, step_no))
+                elif op == "sched":
+                    label = (script_idx, inst, step_no)
+                    sim.schedule(arg, lambda label=label: trace.append((sim.now, "cb", label)))
+                elif op == "spawn":
+                    target = script_idx + 1 + arg % max(1, len(scripts) - script_idx - 1)
+                    if target < len(scripts):
+                        sim.process(make(target)())
+            trace.append((sim.now, script_idx, inst, "end", "end"))
+
+        return body
+
+    for root in roots:
+        sim.process(make(root % len(scripts))())
+    sim.run()
+    trace.append(("final-now", sim.now))
+    return trace
+
+
+@settings(max_examples=200, deadline=None)
+@given(scripts=_scripts, roots=_roots)
+def test_execution_order_matches_seed_engine(scripts, roots):
+    assert _interpret(new_engine, scripts, roots) == _interpret(
+        seed_engine, scripts, roots
+    )
+
+
+def test_events_dispatched_counter_is_exact():
+    """N scheduled callbacks, nothing else: the counter reads exactly N."""
+    sim = new_engine.Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i % 4, lambda i=i: fired.append(i))
+    assert sim.events_dispatched == 0
+    sim.run()
+    assert len(fired) == 10
+    assert sim.events_dispatched == 10
+
+
+def test_events_dispatched_counter_is_deterministic():
+    """The same program dispatches the same number of events every run."""
+
+    def program():
+        sim = new_engine.Simulator()
+
+        def worker(n):
+            for _ in range(n):
+                yield 3
+            done.trigger(None)
+
+        def waiter():
+            yield done
+
+        done = sim.event()
+        sim.process(worker(5))
+        sim.process(waiter())
+        sim.run()
+        return sim.events_dispatched
+
+    first = program()
+    assert first > 0
+    assert all(program() == first for _ in range(3))
+
+
+def test_class_totals_accumulate_across_simulators():
+    before_events = new_engine.Simulator.total_events_dispatched
+    before_ns = new_engine.Simulator.total_sim_ns
+
+    def proc():
+        yield 7
+
+    sim = new_engine.Simulator()
+    sim.process(proc())
+    sim.run()
+    assert new_engine.Simulator.total_events_dispatched - before_events == sim.events_dispatched
+    assert new_engine.Simulator.total_sim_ns - before_ns == sim.now == 7
