@@ -1,10 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-fast bench bench-full
+.PHONY: test chaos bench-fast bench bench-full
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Full seeded chaos schedules (YCSB over KRCORE under fault plans).
+chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py -m chaos -q
 
 # Quick perf check: the perf smoke test (budgeted wall time, appends to
 # benchmarks/BENCH_<date>.json) plus one real figure with perf records.

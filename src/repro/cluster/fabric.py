@@ -3,18 +3,59 @@
 from repro.cluster import timing
 
 
+class LinkFault:
+    """Degradation of one directed link (src gid -> dst gid).
+
+    Packet-level decisions (drop, duplicate) are drawn from a private LCG
+    seeded from the fault's identity, so a run is reproducible from the
+    fault plan's seed alone.  Probabilities are fixed-point fractions of
+    2**32 to keep the draw integer-only.
+    """
+
+    __slots__ = ("drop_per_2_32", "dup_per_2_32", "extra_ns", "_lcg")
+
+    SCALE = 1 << 32
+
+    def __init__(self, drop_prob=0.0, dup_prob=0.0, extra_ns=0, seed=1):
+        self.drop_per_2_32 = min(int(drop_prob * self.SCALE), self.SCALE)
+        self.dup_per_2_32 = min(int(dup_prob * self.SCALE), self.SCALE)
+        self.extra_ns = int(extra_ns)
+        self._lcg = (seed * 2654435761) % (1 << 64) or 1
+
+    def _draw(self):
+        self._lcg = (self._lcg * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        return self._lcg >> 32
+
+    def drops(self):
+        """Decide (and consume one draw): is this packet lost?"""
+        if not self.drop_per_2_32:
+            return False
+        return self._draw() < self.drop_per_2_32
+
+    def duplicates(self):
+        """Decide (and consume one draw): does this packet arrive twice?"""
+        if not self.dup_per_2_32:
+            return False
+        return self._draw() < self.dup_per_2_32
+
+
 class Fabric:
     """One 100 Gbps switch; every node is one hop from every other.
 
     The fabric routes by *gid* (the node's RDMA address).  It is purely a
     name service plus a latency model; packet delivery is performed by the
-    RNIC processes themselves.
+    RNIC processes themselves.  Fault injection hangs per-directed-link
+    :class:`LinkFault` records here; the data path consults them only when
+    at least one is installed, so the fault-free hot path is untouched.
     """
 
     def __init__(self, sim):
         self.sim = sim
         self._nodes = {}
         self._one_way_cache = {}
+        #: (src_gid, dst_gid) -> LinkFault.  Empty in fault-free runs; the
+        #: QP flight path guards every consultation on this dict's truth.
+        self.link_faults = {}
 
     def attach(self, node):
         if node.gid in self._nodes:
@@ -22,7 +63,12 @@ class Fabric:
         self._nodes[node.gid] = node
 
     def detach(self, node):
-        self._nodes.pop(node.gid, None)
+        """Remove ``node`` from routing.  Idempotent, and safe while
+        deliveries are in flight: only the mapping that still points at
+        *this* node object is removed, so a replacement node that re-used
+        the gid (or a concurrent re-attach) is never knocked out."""
+        if self._nodes.get(node.gid) is node:
+            del self._nodes[node.gid]
 
     def node(self, gid):
         """Resolve a gid; raises KeyError for unknown/dead nodes."""
@@ -34,6 +80,23 @@ class Fabric:
     @property
     def nodes(self):
         return list(self._nodes.values())
+
+    # -- fault injection -------------------------------------------------------
+
+    def set_link_fault(self, src_gid, dst_gid, fault):
+        """Install a :class:`LinkFault` on the directed link src -> dst."""
+        self.link_faults[(src_gid, dst_gid)] = fault
+
+    def clear_link_fault(self, src_gid, dst_gid):
+        """Remove the fault on src -> dst (idempotent)."""
+        self.link_faults.pop((src_gid, dst_gid), None)
+
+    def link_fault(self, src_gid, dst_gid):
+        """The LinkFault on src -> dst, or None (callers pre-check
+        ``link_faults`` truthiness so fault-free runs never get here)."""
+        return self.link_faults.get((src_gid, dst_gid))
+
+    # -- latency model ---------------------------------------------------------
 
     def one_way_ns(self, nbytes):
         """Propagation + serialization for ``nbytes`` of payload one way.

@@ -21,20 +21,52 @@ class Node:
         self.fabric = fabric
         self.gid = gid
         self.cores = cores
+        self.memory_size = memory_size
         self.cpu = Resource(sim, capacity=cores)
         self.memory = PhysicalMemory(memory_size)
         self.rnic = Rnic(sim, self)
         self.alive = True
+        #: Bumped on every restart; distinguishes a rebooted node from its
+        #: previous life (fresh DCT keys, stale-metadata detection).
+        self.incarnation = 0
         #: Per-node services (connection daemon, kernel modules) hang
         #: themselves here so layers above can find each other.
         self.services = {}
         fabric.attach(self)
 
     def fail(self):
-        """Crash the node: detach from the fabric; its DCT metadata becomes
-        invalid (§4.2: metadata "only invalidated when the host is down")."""
+        """Crash the node: detach from the fabric so no *new* request can
+        resolve it, and error out whatever is already in flight -- inbound
+        operations observe ``alive`` turning False and complete on the
+        requester side with RETRY_EXC_ERR once their retransmission budget
+        runs dry; its DCT metadata becomes invalid (§4.2: metadata "only
+        invalidated when the host is down")."""
         self.alive = False
         self.fabric.detach(self)
+
+    def restart(self):
+        """Reboot a failed node: tear down the old RNIC state (every
+        registered QP is wrecked, every DCT target and MR vanishes) and
+        come back up with a fresh RNIC, fresh DRAM, and no services.
+
+        The software stack (KRCORE module, connection daemon...) must be
+        re-loaded by the operator -- exactly like a real reboot.  The gid
+        is re-used, so stale DCT metadata cached elsewhere now names a DCT
+        target that no longer exists (§4.2's invalidation scenario).
+        """
+        if self.alive:
+            raise ValueError(f"{self.gid} is not down; call fail() first")
+        # Teardown: wreck the old RNIC's QPs so their pending WRs flush.
+        for qp in list(self.rnic._qps.values()):
+            qp._enter_error()
+        self.incarnation += 1
+        self.cpu = Resource(self.sim, capacity=self.cores)
+        self.memory = PhysicalMemory(self.memory_size)
+        self.rnic = Rnic(self.sim, self)
+        self.services = {}
+        self.alive = True
+        self.fabric.attach(self)
+        return self
 
     def __repr__(self):
         return f"Node(gid={self.gid!r}, cores={self.cores})"

@@ -75,6 +75,21 @@ class Rnic:
         finally:
             resource.release(grant)
 
+    def stall(self, duration_ns, engine="command"):
+        """Process: wedge one engine for ``duration_ns`` (fault injection).
+
+        Models a firmware/command-engine hiccup: the engine finishes its
+        current op, then sits occupied, so queued work (connection setups,
+        QP repairs, inbound ops) backs up behind the stall and drains in
+        FIFO order afterwards -- no work is lost.
+        """
+        resource = self.command_processor if engine == "command" else self.inbound_engine
+        grant = yield resource.acquire()
+        try:
+            yield int(duration_ns)
+        finally:
+            resource.release(grant)
+
     def serve_inbound(self, service_ns):
         """Process: occupy the inbound engine for ``service_ns``.
 

@@ -103,6 +103,29 @@ def responder_payload_service_ns(nbytes):
 REQUEST_HEADER_BYTES = 30
 
 # ---------------------------------------------------------------------------
+# Reliability: retransmission timers and retry budgets (§3.1 C#3; the
+# transport-level retries that make lease-based MR caching safe).  Scaled
+# for the simulated rack (a real IB local-ACK timeout is 4.096us * 2^n).
+# ---------------------------------------------------------------------------
+
+#: Requester-side retransmission timer: how long a reliable QP waits for a
+#: response before retrying the request.
+QP_TIMEOUT_NS = 16 * US
+
+#: How many times a reliable QP retransmits before completing with
+#: RETRY_EXC_ERR.  (Retries only trigger on lost packets or unreachable
+#: responders, so the fault-free figure paths never pay this.)
+QP_RETRY_CNT = 3
+
+#: RNR retry budget: 0 reproduces the classic immediate RNR_ERR wreck;
+#: a positive budget waits QP_RNR_TIMER_NS per retry and completes with
+#: RNR_RETRY_EXC_ERR on exhaustion.
+QP_RNR_RETRY = 0
+
+#: Receiver-not-ready backoff timer between RNR retries.
+QP_RNR_TIMER_NS = 20 * US
+
+# ---------------------------------------------------------------------------
 # Data path: two-sided (Fig 11)
 # ---------------------------------------------------------------------------
 
@@ -244,6 +267,20 @@ MR_CHECK_MISS_NS = 4_500
 
 #: MRStore/DCCache lease period: cached MRs flushed every second (§4.2).
 MR_LEASE_NS = 1_000 * MS
+
+#: Bounded-retry budget for KRCORE control-plane operations that touch the
+#: meta server (qconnect lookups, MR validation): attempts before the
+#: caller degrades (stale-entry acceptance or the full RC handshake).
+KRCORE_META_RETRIES = 4
+
+#: Exponential-backoff base between those retries (doubles per attempt,
+#: capped at KRCORE_BACKOFF_MAX_NS).
+KRCORE_BACKOFF_BASE_NS = 10 * US
+KRCORE_BACKOFF_MAX_NS = 320 * US
+
+#: Cost of *discovering* a meta-server outage: the pre-connected QP's
+#: timed-out READ (one retransmission window's worth of waiting).
+META_OUTAGE_PROBE_NS = (QP_RETRY_CNT + 1) * QP_TIMEOUT_NS
 
 #: Kernel memcpy for dispatching two-sided payloads to user buffers
 #: (~4 GB/s effective on cold buffers; significant above 16 KB, Fig 9b).

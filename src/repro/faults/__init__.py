@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the simulated KRCORE cluster.
+
+Three pieces:
+
+* :mod:`repro.faults.plan` -- a :class:`FaultPlan` is a seeded, fully
+  deterministic schedule of faults (packet loss/duplication, latency
+  degradation, RNIC stalls, node crash + restart, meta-server outages)
+  pinned to simulated timestamps.
+* :mod:`repro.faults.injector` -- a :class:`FaultInjector` walks a plan
+  inside the simulation and applies each fault to the cluster.
+* :mod:`repro.faults.harness` -- :func:`run_chaos` drives YCSB traffic
+  over KRCORE while a plan fires, asserting the robustness invariants
+  (exactly-once completion, no byte corruption, metadata convergence,
+  lease safety) and returning a digest-able report.
+"""
+
+from repro.faults.harness import ChaosReport, run_chaos
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "ChaosReport",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "run_chaos",
+]

@@ -1,0 +1,98 @@
+"""The fault injector: walks a FaultPlan inside the simulation.
+
+One driver process sleeps between the plan's (sorted) timestamps and
+applies each event when it falls due.  Link faults are installed with a
+private LCG seeded from ``(plan.seed, event index)``, so the packet-level
+drop/duplicate draws are reproducible run-to-run regardless of how many
+packets the workload pushes through.
+
+A node crash also retracts the victim's DCT metadata from the meta
+server, playing the role of the deployment's failure detector (§4.2:
+metadata is "only invalidated when the host is down").  The restart
+event reboots the node and then calls the harness-supplied ``on_restart``
+hook, which is responsible for reloading the software stack (KRCORE
+module, MR registrations) exactly like an operator would.
+"""
+
+from repro.cluster.fabric import LinkFault
+from repro.faults import plan as plan_mod
+
+
+class FaultInjector:
+    """Applies a :class:`~repro.faults.plan.FaultPlan` to a cluster."""
+
+    def __init__(self, cluster, meta_server, plan, on_restart=None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.fabric = cluster.fabric
+        self.meta_server = meta_server
+        self.plan = plan
+        self.on_restart = on_restart
+        #: Applied (timestamp, kind, summary) triples, for reports.
+        self.applied = []
+
+    def start(self):
+        """Spawn the driver process; returns self for chaining."""
+        self.sim.process(self._driver(), name="fault-injector")
+        return self
+
+    # -------------------------------------------------------------- driver
+
+    def _node(self, gid):
+        for node in self.cluster.nodes:
+            if node.gid == gid:
+                return node
+        raise ValueError(f"no node {gid} in cluster")
+
+    def _driver(self):
+        for index, event in enumerate(self.plan.sorted_events()):
+            delay = event.at_ns - self.sim.now
+            if delay > 0:
+                yield delay
+            self._apply(index, event)
+        yield 0
+
+    def _apply(self, index, event):
+        params = event.params
+        kind = event.kind
+        if kind == plan_mod.LINK_FAULT:
+            src, dst = params["src_gid"], params["dst_gid"]
+            fault = LinkFault(
+                drop_prob=params["drop_prob"],
+                dup_prob=params["dup_prob"],
+                extra_ns=params["extra_ns"],
+                seed=self.plan.seed * 1_000_003 + index,
+            )
+            self.fabric.set_link_fault(src, dst, fault)
+            self.sim.schedule(
+                params["duration_ns"],
+                lambda s=src, d=dst: self.fabric.clear_link_fault(s, d),
+            )
+            summary = f"{src}->{dst} drop={params['drop_prob']} dup={params['dup_prob']}"
+        elif kind == plan_mod.RNIC_STALL:
+            node = self._node(params["gid"])
+            self.sim.process(
+                node.rnic.stall(params["duration_ns"], engine=params["engine"]),
+                name=f"fault-stall@{node.gid}",
+            )
+            summary = f"{node.gid} {params['engine']} {params['duration_ns']}ns"
+        elif kind == plan_mod.NODE_CRASH:
+            node = self._node(params["gid"])
+            node.fail()
+            # The failure detector: §4.2 invalidates a dead host's DCT
+            # metadata at the meta server.  Remote DCCaches stay stale on
+            # purpose -- hitting them exercises revalidation.
+            self.meta_server.retract_node(node.gid)
+            summary = node.gid
+        elif kind == plan_mod.NODE_RESTART:
+            node = self._node(params["gid"])
+            node.restart()
+            if self.on_restart is not None:
+                self.on_restart(node)
+            summary = node.gid
+        elif kind == plan_mod.META_OUTAGE:
+            self.meta_server.set_outage(params["duration_ns"])
+            summary = f"{params['duration_ns']}ns"
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.applied.append((self.sim.now, kind, summary))

@@ -111,7 +111,7 @@ class KrcoreLib:
         wr = WorkRequest.read(laddr, length, lkey, raddr, rkey)
         entry = yield from self.post_send_and_wait(vqp, wr)
         if not entry.ok:
-            raise KrcoreError(f"READ failed: {entry.status}")
+            raise KrcoreError(f"READ failed: {entry.status}", code=entry.status)
         return entry
 
     def write_sync(self, vqp, laddr, lkey, raddr, rkey, length):
@@ -119,7 +119,7 @@ class KrcoreLib:
         wr = WorkRequest.write(laddr, length, lkey, raddr, rkey)
         entry = yield from self.post_send_and_wait(vqp, wr)
         if not entry.ok:
-            raise KrcoreError(f"WRITE failed: {entry.status}")
+            raise KrcoreError(f"WRITE failed: {entry.status}", code=entry.status)
         return entry
 
     def send_sync(self, vqp, laddr, lkey, length):
@@ -127,7 +127,7 @@ class KrcoreLib:
         wr = WorkRequest.send(laddr, length, lkey)
         entry = yield from self.post_send_and_wait(vqp, wr)
         if not entry.ok:
-            raise KrcoreError(f"SEND failed: {entry.status}")
+            raise KrcoreError(f"SEND failed: {entry.status}", code=entry.status)
         return entry
 
     def send_and_recv(self, vqp, send_wr):

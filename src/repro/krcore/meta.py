@@ -8,9 +8,11 @@ never touch the meta server's CPU.
 
 import struct
 
+from repro.cluster import timing
 from repro.kvs import DrtmKvClient, DrtmKvServer
 from repro.sim import Resource
-from repro.verbs import CompletionQueue, DriverContext, QpType
+from repro.verbs import CompletionQueue, DriverContext, QpType, WcStatus
+from repro.verbs.errors import MetaUnavailableError, VerbsError
 
 _DCT_VALUE = struct.Struct(">IQ")  # DCT number (4B) + DCT key (8B) = 12 B
 _MR_VALUE = struct.Struct(">QQ")  # addr (8B) + length (8B)
@@ -35,12 +37,30 @@ class MetaServer:
 
     def __init__(self, node, bucket_count=4096, heap_bytes=1 << 20):
         self.node = node
+        self.sim = node.sim
         self.store = DrtmKvServer(node, bucket_count=bucket_count, heap_bytes=heap_bytes)
+        #: Simulated timestamp until which the service is in an outage
+        #: window (fault injection); 0 means never.
+        self._outage_until = 0
         node.services[self.SERVICE] = self
 
     @property
     def catalog(self):
         return self.store.catalog
+
+    # -- fault injection -------------------------------------------------------
+
+    def set_outage(self, duration_ns):
+        """Take the meta service down for ``duration_ns`` from now.
+
+        Models a hung/partitioned meta deployment: clients' lookups fail
+        until the window passes, exercising their backoff and the RC
+        fallback path.  Overlapping windows extend, never shorten."""
+        self._outage_until = max(self._outage_until, self.sim.now + int(duration_ns))
+
+    @property
+    def available(self):
+        return self.node.alive and self.sim.now >= self._outage_until
 
     # -- boot-time broadcast targets -------------------------------------------
 
@@ -69,6 +89,7 @@ class MetaClient:
     def __init__(self, node, meta_server, scratch_bytes=4096):
         self.node = node
         self.sim = node.sim
+        self.meta_server = meta_server
         self.meta_node = meta_server.node
         context = DriverContext(node, kernel=True)
         remote_context = DriverContext(self.meta_node, kernel=True)
@@ -110,7 +131,24 @@ class MetaClient:
     def _lookup(self, key):
         grant = yield self._mutex.acquire()
         try:
-            value = yield from self.kv.lookup(key)
+            if not self.meta_server.available:
+                # The service is in an outage window (or its host is
+                # down): the READ can only time out, so charge the full
+                # retransmission budget before reporting unavailability.
+                yield timing.META_OUTAGE_PROBE_NS
+                raise MetaUnavailableError(
+                    f"meta server on {self.meta_node.gid} is unavailable",
+                    code=WcStatus.RETRY_EXC_ERR,
+                )
+            try:
+                value = yield from self.kv.lookup(key)
+            except VerbsError as err:
+                # The host died mid-lookup: surface it as unavailability
+                # so callers can back off / degrade instead of crashing.
+                raise MetaUnavailableError(
+                    f"meta lookup via {self.meta_node.gid} failed: {err}",
+                    code=getattr(err, "code", None),
+                ) from err
         finally:
             self._mutex.release(grant)
         return value

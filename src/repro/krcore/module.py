@@ -13,6 +13,7 @@ from repro.krcore.meta import MetaClient
 from repro.krcore.mrstore import MrStore, ValidMr
 from repro.krcore.pool import HybridQpPool
 from repro.krcore.vqp import KrcoreError, Vqp
+from repro.verbs.errors import MetaUnavailableError
 from repro.verbs import (
     CompletionQueue,
     ConnectionManager,
@@ -113,7 +114,14 @@ class KrcoreModule:
         self.dc_cache = {}  # gid -> (dct_number, dct_key)
 
         # --- boot: DCT target + its shared receive machinery (§4.2) ---
-        self.dct_target = node.rnic.create_dct_target(dc_key=_stable_key(node.gid))
+        # A reloaded module (post-restart) derives a *different* DCT key,
+        # so stale metadata cached remotely fails REM_ACCESS and forces a
+        # revalidation instead of silently hitting the new incarnation.
+        if node.incarnation:
+            dc_key = _stable_key(f"{node.gid}#{node.incarnation}")
+        else:
+            dc_key = _stable_key(node.gid)
+        self.dct_target = node.rnic.create_dct_target(dc_key=dc_key)
         self.dct_target.recv_cq = CompletionQueue(self.sim)
 
         # --- kernel receive buffer pool ---
@@ -332,7 +340,13 @@ class KrcoreModule:
 
     def kernel_one_sided(self, cpu_id, gid, dct_meta, wr):
         """Process: issue one signaled kernel-internal one-sided op through
-        the hybrid pool and wait for its completion."""
+        the hybrid pool and wait for its completion.
+
+        A DC op that fails REM_ACCESS with metadata *we* looked up may be a
+        stale-cache casualty (the target restarted with a new DCT key):
+        revalidate once against the meta server and, if the metadata did
+        change, re-issue.  Piggybacked metadata is never second-guessed."""
+        piggybacked = dct_meta is not None
         pool = self.pool(cpu_id)
         if pool.has_rc(gid):
             qp = pool.select_rc(gid)
@@ -342,6 +356,36 @@ class KrcoreModule:
                 dct_meta = yield from self._dct_meta_for(cpu_id, gid)
             wr.dct_gid = gid
             wr.dct_number, wr.dct_key = dct_meta
+        wc = yield from self._issue_signaled(qp, wr)
+        if (
+            wc.status is WcStatus.REM_ACCESS_ERR
+            and qp.qp_type is QpType.DC
+            and not piggybacked
+        ):
+            try:
+                fresh = yield from self.revalidate_dct(cpu_id, gid, stale_meta=dct_meta)
+            except KrcoreError:
+                return wc  # meta also unreachable: report the original error
+            if fresh != tuple(dct_meta):
+                wr.dct_gid = gid
+                wr.dct_number, wr.dct_key = fresh
+                yield from self._await_usable(qp)
+                wc = yield from self._issue_signaled(qp, wr)
+        return wc
+
+    def _await_usable(self, qp):
+        """Process: wait for a wrecked pool QP to be back at RTS, spawning
+        the background repair if the error's poll didn't already."""
+        while qp.state is not QpState.RTS:
+            if qp.state is QpState.ERR and qp not in self._repairing:
+                self._repairing.add(qp)
+                self.sim.process(
+                    self._repair_qp(qp), name=f"krcore-repair@{self.node.gid}"
+                )
+            yield timing.KRCORE_BACKOFF_BASE_NS
+
+    def _issue_signaled(self, qp, wr):
+        """Process: post one signaled WR on ``qp`` and wait it out."""
         event = self.sim.event()
         wr.signaled = True
         wr.wr_id = self.encode_wr_id(None, 1, event=event)
@@ -364,11 +408,40 @@ class KrcoreModule:
     def _dct_meta_for(self, cpu_id, gid):
         meta = self.dc_cache.get(gid)
         if meta is None:
-            meta = yield from self.meta_client(cpu_id).lookup_dct(gid)
+            meta = yield from self.lookup_dct_robust(cpu_id, gid)
             if meta is None:
-                raise KrcoreError(f"no DCT metadata for {gid}")
+                raise KrcoreError(
+                    f"no DCT metadata for {gid}", code=WcStatus.REM_ACCESS_ERR
+                )
             self.dc_cache[gid] = meta
         return meta
+
+    def lookup_dct_robust(self, cpu_id, gid):
+        """Process: DCT metadata lookup with bounded retry + exponential
+        backoff.  Raises :class:`MetaUnavailableError` once the budget is
+        spent; returns None for a *reachable* meta server with no record
+        (the node never booted or was retracted)."""
+        backoff = timing.KRCORE_BACKOFF_BASE_NS
+        attempt = 0
+        while True:
+            self.stats_meta_lookups += 1
+            try:
+                return (yield from self.meta_client(cpu_id).lookup_dct(gid))
+            except MetaUnavailableError:
+                attempt += 1
+                if attempt > timing.KRCORE_META_RETRIES:
+                    raise
+                yield backoff
+                backoff = min(backoff * 2, timing.KRCORE_BACKOFF_MAX_NS)
+
+    def revalidate_dct(self, cpu_id, gid, stale_meta=None):
+        """Process: drop a suspect DCCache entry and re-fetch fresh DCT
+        metadata (§4.2: metadata is invalidated when the host is down -- a
+        restarted host publishes a new key under the same gid)."""
+        cached = self.dc_cache.get(gid)
+        if stale_meta is None or cached is None or cached == tuple(stale_meta):
+            self.dc_cache.pop(gid, None)
+        return (yield from self._dct_meta_for(cpu_id, gid))
 
     def fence_qp(self, vqp, qp):
         """Process: the §4.6 fence -- a fake signaled request through the
@@ -398,14 +471,14 @@ class KrcoreModule:
         qp.post_send(fence)
         wc = yield from self._wait_token_event(qp, event)
         if wc.status is not WcStatus.SUCCESS:
-            raise KrcoreError(f"transfer fence failed: {wc.status}")
+            raise KrcoreError(f"transfer fence failed: {wc.status}", code=wc.status)
 
     def _peer_module(self, gid):
         if not self.node.fabric.has_node(gid):
-            raise KrcoreError(f"{gid} is unreachable")
+            raise KrcoreError(f"{gid} is unreachable", code=WcStatus.RETRY_EXC_ERR)
         peer = self.node.fabric.node(gid).services.get(self.SERVICE)
         if peer is None:
-            raise KrcoreError(f"{gid} runs no KRCORE module")
+            raise KrcoreError(f"{gid} runs no KRCORE module", code=WcStatus.RETRY_EXC_ERR)
         return peer
 
     # ------------------------------------------------------------ kernel msgs
@@ -437,7 +510,9 @@ class KrcoreModule:
         qp.post_send(wr)
         wc = yield from self._wait_token_event(qp, event)
         if wc.status is not WcStatus.SUCCESS:
-            raise KrcoreError(f"kernel message to {gid} failed: {wc.status}")
+            raise KrcoreError(
+                f"kernel message to {gid} failed: {wc.status}", code=wc.status
+            )
 
     def _kernel_daemon(self):
         queue = self._port_queue(KERNEL_PORT)
@@ -644,7 +719,7 @@ class KrcoreModule:
                 vqp.cpu_id, header["src_gid"], header.get("src_dct_meta"), wr
             )
             if wc.status is not WcStatus.SUCCESS:
-                raise KrcoreError(f"zero-copy READ failed: {wc.status}")
+                raise KrcoreError(f"zero-copy READ failed: {wc.status}", code=wc.status)
             return zc["len"]
         length = min(msg["len"], user_buf.length)
         yield int(length * timing.MEMCPY_NS_PER_BYTE)
@@ -752,25 +827,35 @@ class KrcoreModule:
                 name=f"krcore-rc-create@{self.node.gid}",
             )
 
+    def establish_rc(self, gid, pool):
+        """Process: full RC handshake to ``gid``'s daemon (the paper's old
+        control path), wired for kernel receive and inserted in ``pool``.
+
+        Used both for background RC promotion and as the degraded-mode
+        fallback when the meta service is unreachable (a handshake needs no
+        DCT metadata).  Returns the RTS queue pair."""
+        send_cq = CompletionQueue(self.sim)
+        qp = yield from rc_connect(self.context, send_cq, gid, port=KRCORE_RC_PORT)
+        # Separate the recv CQ so the dispatcher never steals send
+        # completions from poll_inner.
+        qp.recv_cq = CompletionQueue(self.sim)
+        for _ in range(8):
+            self._post_kernel_buffer(qp.post_recv)
+        self.sim.process(
+            self._recv_dispatcher(qp.recv_cq, qp.post_recv),
+            name=f"krcore-dispatch-rc@{self.node.gid}",
+        )
+        evicted = pool.insert_rc(gid, qp)
+        if evicted is not None:
+            self._retire_rc(*evicted, pool)
+        return qp
+
     def _create_rc_background(self, gid, pool):
         """Process: create + configure an RCQP to ``gid`` in the background
         (the control-path cost is off the application's critical path), then
         transparently transfer this CPU's VQPs onto it."""
         try:
-            send_cq = CompletionQueue(self.sim)
-            qp = yield from rc_connect(self.context, send_cq, gid, port=KRCORE_RC_PORT)
-            # Separate the recv CQ so the dispatcher never steals send
-            # completions from poll_inner.
-            qp.recv_cq = CompletionQueue(self.sim)
-            for _ in range(8):
-                self._post_kernel_buffer(qp.post_recv)
-            self.sim.process(
-                self._recv_dispatcher(qp.recv_cq, qp.post_recv),
-                name=f"krcore-dispatch-rc@{self.node.gid}",
-            )
-            evicted = pool.insert_rc(gid, qp)
-            if evicted is not None:
-                self._retire_rc(*evicted, pool)
+            qp = yield from self.establish_rc(gid, pool)
             for vqp in list(self._connected_vqps.get(gid, [])):
                 if vqp.cpu_id == pool.cpu_id and vqp.qp is not qp:
                     yield from vqp.transfer_to(qp)

@@ -16,6 +16,7 @@ posting, or a bad key would wreck the shared QP (§3.1, C#3).
 """
 
 from repro.cluster import timing
+from repro.verbs.errors import MetaUnavailableError
 
 
 class ValidMr:
@@ -62,6 +63,9 @@ class MrStore:
         self._cache = {}  # (gid, rkey) -> (epoch, (addr, length))
         self.stats_hits = 0
         self.stats_misses = 0
+        #: Lease-expired entries accepted because the meta server was
+        #: unreachable (degraded mode).
+        self.stats_stale_accepts = 0
 
     def _epoch(self):
         return self.sim.now // self.lease_ns
@@ -93,12 +97,25 @@ class MrStore:
 
         Returns True iff the access falls inside a known-valid remote MR.
         A miss costs one meta-server lookup (+4.5 us, Fig 12a) through the
-        calling CPU's pre-connected meta client.
+        calling CPU's pre-connected meta client; the lookup retries with
+        exponential backoff.  If the meta server stays unreachable and a
+        lease-expired entry for this MR is still cached, accept it (the
+        remote frees a deregistered MR only one full lease after
+        retraction, and the responder re-validates every access, so a
+        wrong stale verdict surfaces as REM_ACCESS -- never as a read of
+        freed memory).  With no cached entry at all, the error propagates.
         """
         record = self.cached(gid, rkey)
         if record is None:
             self.stats_misses += 1
-            record = yield from self.module.meta_client(cpu_id).lookup_mr(gid, rkey)
+            try:
+                record = yield from self._lookup_robust(gid, rkey, cpu_id)
+            except MetaUnavailableError:
+                stale = self._cache.get((gid, rkey))
+                if stale is None:
+                    raise
+                self.stats_stale_accepts += 1
+                record = stale[1]
             if record is None:
                 return False
             self._cache[(gid, rkey)] = (self._epoch(), record)
@@ -106,6 +123,22 @@ class MrStore:
             self.stats_hits += 1
         base, span = record
         return base <= addr and addr + length <= base + span
+
+    def _lookup_robust(self, gid, rkey, cpu_id):
+        """Process: MR lookup with bounded retry + exponential backoff."""
+        backoff = timing.KRCORE_BACKOFF_BASE_NS
+        attempt = 0
+        while True:
+            try:
+                return (
+                    yield from self.module.meta_client(cpu_id).lookup_mr(gid, rkey)
+                )
+            except MetaUnavailableError:
+                attempt += 1
+                if attempt > timing.KRCORE_META_RETRIES:
+                    raise
+                yield backoff
+                backoff = min(backoff * 2, timing.KRCORE_BACKOFF_MAX_NS)
 
     def invalidate(self, gid, rkey=None):
         if rkey is not None:

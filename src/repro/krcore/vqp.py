@@ -15,16 +15,10 @@ hinges on three duties the paper spells out (§4.4):
 from collections import deque
 
 from repro.cluster import timing
-from repro.verbs.errors import VerbsError
+from repro.verbs.errors import KrcoreError, MetaUnavailableError, VerbsError
 from repro.verbs.types import POSTABLE_OPCODES, Opcode, QpType, WcStatus
 
-
-class KrcoreError(Exception):
-    """A KRCORE operation was rejected (invalid request, unknown node...).
-
-    Crucially this surfaces *to the caller* -- the shared physical QP is
-    never corrupted by a bad request (§3.1, C#3).
-    """
+__all__ = ["CompletionEntry", "KrcoreError", "Vqp"]
 
 
 class CompletionEntry:
@@ -76,7 +70,11 @@ class Vqp:
         """Process: vqp_connect -- bind a pre-initialized physical QP.
 
         RC from the hybrid pool when available, else a DCQP plus the
-        target's DCT metadata (DCCache first, meta server on a miss).
+        target's DCT metadata (DCCache first, meta server on a miss; the
+        lookup retries with exponential backoff).  If the meta service
+        stays unreachable, degrade gracefully: fall back to a full RC
+        handshake with the target's connection daemon -- the paper's "old
+        control path" costs milliseconds but needs no metadata.
         """
         if self.remote_gid is not None and self.remote_gid != gid:
             raise KrcoreError(f"VQP {self.id} already connected to {self.remote_gid}")
@@ -85,18 +83,55 @@ class Vqp:
             if pool.has_rc(gid):
                 self.qp = pool.select_rc(gid)
             else:
-                self.qp = pool.select_dc()
                 meta = self.module.dc_cache.get(gid)
                 if meta is None:
-                    meta = yield from self.module.meta_client(self.cpu_id).lookup_dct(gid)
-                    if meta is None:
-                        raise KrcoreError(f"no DCT metadata for {gid}")
-                    self.module.dc_cache[gid] = meta
-                self.dct_meta = meta
+                    meta = yield from self._fetch_dct_meta(gid, pool)
+                if self.qp is None:  # not claimed by the RC fallback
+                    self.qp = pool.select_dc()
+                    self.dct_meta = meta
         self.remote_gid = gid
         self.remote_port = port
         self.module.register_connected_vqp(self)
         return self
+
+    def _fetch_dct_meta(self, gid, pool):
+        """Process: robust DCT metadata fetch for :meth:`connect`.
+
+        On success the metadata is cached and returned.  If the meta
+        service is unreachable after the retry budget, fall back to a full
+        RC handshake: ``self.qp`` is set to the fresh RCQP and ``None`` is
+        returned (no metadata needed on an RC-backed VQP).
+        """
+        module = self.module
+        try:
+            meta = yield from module.lookup_dct_robust(self.cpu_id, gid)
+        except MetaUnavailableError as meta_err:
+            try:
+                self.qp = yield from module.establish_rc(gid, pool)
+            except (VerbsError, KrcoreError) as rc_err:
+                raise KrcoreError(
+                    f"meta server unreachable and RC fallback to {gid} "
+                    f"failed ({rc_err})",
+                    code=getattr(rc_err, "code", None),
+                ) from meta_err
+            return None
+        if meta is None:
+            raise KrcoreError(
+                f"no DCT metadata for {gid}", code=WcStatus.REM_ACCESS_ERR
+            )
+        module.dc_cache[gid] = meta
+        return meta
+
+    def revalidate(self):
+        """Process: refresh this VQP's DCT metadata after a remote-access
+        failure (the target may have restarted with a new DCT key)."""
+        if self.qp is None or self.qp.qp_type is not QpType.DC:
+            return self.dct_meta
+        meta = yield from self.module.revalidate_dct(
+            self.cpu_id, self.remote_gid, stale_meta=self.dct_meta
+        )
+        self.dct_meta = meta
+        return meta
 
     @property
     def is_rc_backed(self):
@@ -132,10 +167,14 @@ class Vqp:
             yield timing.VIRTUALIZATION_CHECK_NS * len(wrs)
         for wr in wrs:
             if wr.opcode not in POSTABLE_OPCODES:
-                raise KrcoreError(f"invalid opcode {wr.opcode}")
+                raise KrcoreError(
+                    f"invalid opcode {wr.opcode}", code=WcStatus.BAD_OPCODE_ERR
+                )
             skip_local = wr.opcode is Opcode.SEND and wr.length == 0
             if not skip_local and not module.valid_mr.check_local(wr.lkey, wr.laddr, wr.length):
-                raise KrcoreError(f"invalid local MR (lkey={wr.lkey})")
+                raise KrcoreError(
+                    f"invalid local MR (lkey={wr.lkey})", code=WcStatus.LOC_PROT_ERR
+                )
             if wr.opcode in (Opcode.READ, Opcode.WRITE, Opcode.CAS, Opcode.FETCH_ADD):
                 span = 8 if wr.opcode in (Opcode.CAS, Opcode.FETCH_ADD) else wr.length
                 ok = module.mr_store.check_cached(self.remote_gid, wr.rkey, wr.raddr, span)
@@ -144,7 +183,10 @@ class Vqp:
                         self.remote_gid, wr.rkey, wr.raddr, span, cpu_id=self.cpu_id
                     )
                 if not ok:
-                    raise KrcoreError(f"invalid remote MR (rkey={wr.rkey})")
+                    raise KrcoreError(
+                        f"invalid remote MR (rkey={wr.rkey})",
+                        code=WcStatus.REM_ACCESS_ERR,
+                    )
         # --- build the physical requests (lines 4-17) ---
         phys = []
         unsignaled_cnt = 0
@@ -181,9 +223,22 @@ class Vqp:
             qp.post_send(phys)
         except VerbsError as err:
             # A remote failure wrecked the shared QP under us (the kernel
-            # repairs it in the background); surface a clean error.
+            # repairs it in the background).  Nothing reached the wire, so
+            # roll back this chunk's bookkeeping -- a not-ready entry left
+            # at the head of the software CQ would block every later
+            # completion, and an orphaned wr_id token would read as a lost
+            # completion -- then surface a clean error.
+            for pwr in phys:
+                if pwr.wr_id:
+                    token = module._wrid_tokens.pop(pwr.wr_id, None)
+                    if token is not None and token.entry is not None:
+                        try:
+                            self.comp_queue.remove(token.entry)
+                        except ValueError:
+                            pass
             raise KrcoreError(
-                f"physical QP unavailable ({err}); retry after repair"
+                f"physical QP unavailable ({err}); retry after repair",
+                code=getattr(err, "code", None) or WcStatus.RETRY_EXC_ERR,
             ) from err
         self.stats_posted += len(phys)
         module.note_traffic(self.remote_gid, self.cpu_id, len(phys))

@@ -69,6 +69,8 @@ class DrtmKvClient:
             yield timing.POLL_CQ_CPU_NS
         completion = completions[0]
         if not completion.ok:
-            raise VerbsError(f"meta read failed: {completion.status}")
+            raise VerbsError(
+                f"meta read failed: {completion.status}", code=completion.status
+            )
         self.stats_reads += 1
         return self.qp.node.memory.read(self.scratch_addr, length)

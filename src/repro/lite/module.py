@@ -142,7 +142,10 @@ class LiteModule:
         )
         completions = yield from qp.send_cq.wait_poll()
         if not completions[0].ok:
-            raise LiteError(f"RPC send failed: {completions[0].status}")
+            raise LiteError(
+                f"RPC send failed: {completions[0].status}",
+                code=completions[0].status,
+            )
         self._rpc_free.append(slot)
 
     def rpc_call(self, gid, request):
@@ -257,7 +260,7 @@ class LiteModule:
         yield timing.POLL_CQ_CPU_NS
         completion = completions[0]
         if not completion.ok:
-            raise LiteError(f"remote op failed: {completion.status}")
+            raise LiteError(f"remote op failed: {completion.status}", code=completion.status)
 
     # ------------------------------------------------------- async (flawed) path
 

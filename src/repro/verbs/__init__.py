@@ -18,7 +18,14 @@ simulated physical memories.
 
 from repro.verbs.cq import Completion, CompletionQueue
 from repro.verbs.device import DriverContext, ProtectionDomain
-from repro.verbs.errors import QpError, QpOverflowError, VerbsError
+from repro.verbs.errors import (
+    KrcoreError,
+    MetaUnavailableError,
+    QpError,
+    QpOverflowError,
+    RdmaError,
+    VerbsError,
+)
 from repro.verbs.qp import DctTarget, QueuePair
 from repro.verbs.types import Opcode, QpState, QpType, WcStatus
 from repro.verbs.wr import RecvBuffer, WorkRequest
@@ -30,9 +37,12 @@ __all__ = [
     "ConnectionManager",
     "DctTarget",
     "DriverContext",
+    "KrcoreError",
+    "MetaUnavailableError",
     "Opcode",
     "ProtectionDomain",
     "QpError",
+    "RdmaError",
     "QpOverflowError",
     "QpState",
     "QpType",

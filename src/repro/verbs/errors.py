@@ -1,7 +1,22 @@
-"""Error types for the verbs layer."""
+"""Error taxonomy for the simulated RDMA stack.
+
+Every layer's errors derive from :class:`RdmaError`, which carries an
+optional ``code`` -- a :class:`repro.verbs.types.WcStatus` member naming
+the transport-level condition behind the failure.  Callers branch on
+``err.code`` (e.g. ``err.code is WcStatus.RETRY_EXC_ERR``) instead of
+string-matching messages; the message stays free-form for humans.
+"""
 
 
-class VerbsError(Exception):
+class RdmaError(Exception):
+    """Base class for all stack errors; ``code`` is a WcStatus or None."""
+
+    def __init__(self, message="", code=None):
+        super().__init__(message)
+        self.code = code
+
+
+class VerbsError(RdmaError):
     """Generic misuse of the verbs API (wrong state, wrong transport...)."""
 
 
@@ -16,3 +31,19 @@ class QpOverflowError(QpError):
     guards against (§3.1 C#3): the QP transitions to ERR and must be fully
     reconfigured before it can carry traffic again.
     """
+
+
+class KrcoreError(RdmaError):
+    """A KRCORE operation was rejected or failed (invalid request, unknown
+    node, unreachable peer...).
+
+    Crucially this surfaces *to the caller* -- the shared physical QP is
+    never corrupted by a bad request (§3.1, C#3).  When the failure maps to
+    a transport condition, ``code`` carries the matching WcStatus.
+    """
+
+
+class MetaUnavailableError(KrcoreError):
+    """The meta server could not be reached (outage window, dead meta node,
+    or a wrecked pre-connected QP).  Callers retry with backoff and fall
+    back to the full RC handshake when the budget is exhausted."""

@@ -12,6 +12,15 @@ Failure semantics reproduce what KRCORE must defend against (§3.1):
   completions are *polled*) moves the QP to ERR;
 * an ERR QP refuses all traffic until fully reconfigured, which costs a
   trip through the RNIC command processor.
+
+Reliable transports (RC/DC) carry real retransmission state: ``timeout_ns``
+/ ``retry_cnt`` drive the requester's retry timer when a request or
+response is lost (link fault) or the responder is unreachable (node dead),
+completing with RETRY_EXC_ERR only once the budget is exhausted;
+``rnr_retry`` / ``rnr_timer_ns`` do the same for receiver-not-ready NAKs
+(RNR_RETRY_EXC_ERR).  Retransmission after a lost *response* never
+re-executes remote side effects -- the responder recognizes the duplicate
+PSN and resends -- so atomics and SENDs stay exactly-once.
 """
 
 from collections import deque
@@ -60,6 +69,10 @@ class QueuePair:
         send_cq,
         recv_cq=None,
         sq_depth=timing.SQ_DEPTH_DEFAULT,
+        timeout_ns=timing.QP_TIMEOUT_NS,
+        retry_cnt=timing.QP_RETRY_CNT,
+        rnr_retry=timing.QP_RNR_RETRY,
+        rnr_timer_ns=timing.QP_RNR_TIMER_NS,
     ):
         self.node = node
         self.sim = node.sim
@@ -67,6 +80,11 @@ class QueuePair:
         self.send_cq = send_cq
         self.recv_cq = recv_cq
         self.sq_depth = sq_depth
+        # Retransmission attributes (the ibv_qp_attr timeout/retry knobs).
+        self.timeout_ns = timeout_ns
+        self.retry_cnt = retry_cnt
+        self.rnr_retry = rnr_retry
+        self.rnr_timer_ns = rnr_timer_ns
         self.qpn = node.rnic.register_qp(self)
         self.state = QpState.RESET
         self.remote = None  # (gid, qpn) once RC-connected
@@ -160,13 +178,14 @@ class QueuePair:
         if not wrs:
             return
         if self.state is QpState.ERR:
-            raise QpError(f"QP {self.qpn} is in ERR")
+            raise QpError(f"QP {self.qpn} is in ERR", code=WcStatus.FLUSH_ERR)
         if self.state is not QpState.RTS:
             raise VerbsError(f"QP {self.qpn}: post_send in state {self.state}")
         if len(wrs) > self.free_slots:
             self._enter_error()
             raise QpOverflowError(
-                f"QP {self.qpn}: posting {len(wrs)} WRs with {self.free_slots} free slots"
+                f"QP {self.qpn}: posting {len(wrs)} WRs with {self.free_slots} free slots",
+                code=WcStatus.FLUSH_ERR,
             )
         self._posted += len(wrs)
         for wr in wrs:
@@ -223,106 +242,193 @@ class QueuePair:
         nested ``yield from`` frame is traversed on every resume.  The
         yield sequence and error mapping are identical to the helpers,
         which remain for the other opcodes.
+
+        The attempt loop is the retransmission machinery: a lost packet or
+        unreachable responder burns one ``timeout_ns`` wait per retry; an
+        RNR NAK burns ``rnr_timer_ns`` per ``rnr_retry``.  The fault-free
+        path runs the loop body exactly once with the same yield sequence
+        as before, and consults the fabric's fault table only when it is
+        non-empty -- fault-free runs are bit-identical.
         """
         status = WcStatus.SUCCESS
         byte_len = 0
         node = self.node
         fabric = node.fabric
-        try:
-            opcode = wr.opcode
-            length = wr.length
-            if opcode not in POSTABLE_OPCODES:
-                raise _Malformed(WcStatus.BAD_OPCODE_ERR)
-            # -- local SGE validation (_fetch_local) --
-            if length == 0 and opcode is Opcode.SEND:
-                payload = b""
-            else:
-                try:
-                    node.memory.check_local(wr.lkey, wr.laddr, length)
-                except MemoryError_ as err:
-                    raise _Malformed(WcStatus.LOC_PROT_ERR) from err
-                if opcode in (Opcode.WRITE, Opcode.SEND):
-                    payload = node.memory.read(wr.laddr, length)
-                else:
-                    payload = None
-            # -- remote addressing (_remote_gid) --
-            if self.qp_type is QpType.RC:
-                if self.remote is None:
-                    raise _Malformed(WcStatus.RETRY_EXC_ERR)
-                remote_gid = self.remote[0]
-            else:
-                remote_gid = wr.dct_gid
-                if remote_gid is None:
+        qp_type = self.qp_type
+        attempts_left = self.retry_cnt
+        rnr_left = self.rnr_retry
+        executed = False  # remote side effects applied (exactly-once guard)
+        saved_response_bytes = 0
+        while True:
+            try:
+                opcode = wr.opcode
+                length = wr.length
+                if opcode not in POSTABLE_OPCODES:
                     raise _Malformed(WcStatus.BAD_OPCODE_ERR)
-            request_bytes = timing.REQUEST_HEADER_BYTES
-            if opcode in (Opcode.WRITE, Opcode.SEND):
-                request_bytes += length
-            wire_out = fabric.one_way_ns(request_bytes)
-            if opcode is Opcode.WRITE:
-                wire_out += int(length * timing.WRITE_EXTRA_NS_PER_BYTE)
-            yield wire_out
-            # -- remote lookup (_resolve_remote) --
-            if not fabric.has_node(remote_gid):
-                if self.qp_type is QpType.UD:
-                    raise _UdDrop()
-                raise _Malformed(WcStatus.RETRY_EXC_ERR)
-            remote_node = fabric.node(remote_gid)
-            if self.qp_type is QpType.DC:
-                target = remote_node.rnic.dct_target(wr.dct_number)
-                if target is None or target.key != wr.dct_key:
-                    raise _Malformed(WcStatus.REM_ACCESS_ERR)
-            # -- responder processing --
-            if opcode is Opcode.READ or opcode is Opcode.WRITE:
-                rnic = remote_node.rnic
-                memory = remote_node.memory
-                if opcode is Opcode.READ:
-                    service = timing.READ_RESPONDER_SERVICE_NS
-                    service += timing.responder_payload_service_ns(length)
-                    if self.qp_type is QpType.DC:
-                        service += timing.DC_READ_SERVICE_EXTRA_NS
+                # -- local SGE validation (_fetch_local) --
+                if length == 0 and opcode is Opcode.SEND:
+                    payload = b""
                 else:
-                    service = timing.WRITE_RESPONDER_SERVICE_NS
-                    service += timing.responder_payload_service_ns(length)
-                    if self.qp_type is QpType.DC:
-                        service += timing.DC_WRITE_SERVICE_EXTRA_NS
-                total = service + rnic._service_carry
-                whole = int(total)
-                rnic._service_carry = total - whole
-                resource = rnic.inbound_engine
-                grant = yield resource.acquire()
-                try:
-                    yield whole
-                finally:
-                    resource.release(grant)
-                rnic.stats_inbound_ops += 1
-                yield timing.NIC_RESPONDER_PIPELINE_NS
-                try:
-                    if opcode is Opcode.READ:
-                        memory.check_remote(wr.rkey, wr.raddr, length, write=False)
-                        node.memory.write(wr.laddr, memory.read(wr.raddr, length))
-                        response_bytes = length
+                    try:
+                        node.memory.check_local(wr.lkey, wr.laddr, length)
+                    except MemoryError_ as err:
+                        raise _Malformed(WcStatus.LOC_PROT_ERR) from err
+                    if opcode in (Opcode.WRITE, Opcode.SEND):
+                        payload = node.memory.read(wr.laddr, length)
                     else:
-                        memory.check_remote(wr.rkey, wr.raddr, length, write=True)
-                        memory.write(wr.raddr, payload)
-                        response_bytes = 0
-                except MemoryError_ as err:
-                    if self.qp_type is QpType.UD:
-                        raise _UdDrop() from err
-                    raise _Malformed(WcStatus.REM_ACCESS_ERR) from err
-            else:
-                response_bytes = yield from self._execute_remote(remote_node, wr, payload)
-            yield fabric.one_way_ns(response_bytes)
-            yield timing.NIC_RX_COMPLETION_NS
-            byte_len = length
-        except _UdDrop:
-            # Unreliable datagram: the packet vanished; the sender still
-            # completes successfully and never learns.
-            yield timing.NIC_RX_COMPLETION_NS
-        except _Malformed as malformed:
-            status = malformed.status
-            # The NAK still travels back before the requester learns of it.
-            yield fabric.one_way_ns(0)
-            yield timing.NIC_RX_COMPLETION_NS
+                        payload = None
+                # -- remote addressing (_remote_gid) --
+                if qp_type is QpType.RC:
+                    if self.remote is None:
+                        raise _Malformed(WcStatus.RETRY_EXC_ERR)
+                    remote_gid = self.remote[0]
+                else:
+                    remote_gid = wr.dct_gid
+                    if remote_gid is None:
+                        raise _Malformed(WcStatus.BAD_OPCODE_ERR)
+                request_bytes = timing.REQUEST_HEADER_BYTES
+                if opcode in (Opcode.WRITE, Opcode.SEND):
+                    request_bytes += length
+                wire_out = fabric.one_way_ns(request_bytes)
+                if opcode is Opcode.WRITE:
+                    wire_out += int(length * timing.WRITE_EXTRA_NS_PER_BYTE)
+                duplicated = False
+                if fabric.link_faults:
+                    fault = fabric.link_faults.get((node.gid, remote_gid))
+                    if fault is not None:
+                        if fault.drops():
+                            if qp_type is QpType.UD:
+                                raise _UdDrop()
+                            raise _Unreachable()
+                        duplicated = fault.duplicates()
+                        wire_out += fault.extra_ns
+                yield wire_out
+                # -- remote lookup (_resolve_remote) --
+                if not fabric.has_node(remote_gid):
+                    if qp_type is QpType.UD:
+                        raise _UdDrop()
+                    raise _Unreachable()
+                remote_node = fabric.node(remote_gid)
+                if qp_type is QpType.DC:
+                    target = remote_node.rnic.dct_target(wr.dct_number)
+                    if target is None or target.key != wr.dct_key:
+                        raise _Malformed(WcStatus.REM_ACCESS_ERR)
+                # -- responder processing --
+                if opcode is Opcode.READ or opcode is Opcode.WRITE:
+                    rnic = remote_node.rnic
+                    memory = remote_node.memory
+                    if opcode is Opcode.READ:
+                        service = timing.READ_RESPONDER_SERVICE_NS
+                        service += timing.responder_payload_service_ns(length)
+                        if qp_type is QpType.DC:
+                            service += timing.DC_READ_SERVICE_EXTRA_NS
+                    else:
+                        service = timing.WRITE_RESPONDER_SERVICE_NS
+                        service += timing.responder_payload_service_ns(length)
+                        if qp_type is QpType.DC:
+                            service += timing.DC_WRITE_SERVICE_EXTRA_NS
+                    total = service + rnic._service_carry
+                    whole = int(total)
+                    rnic._service_carry = total - whole
+                    resource = rnic.inbound_engine
+                    grant = yield resource.acquire()
+                    try:
+                        yield whole
+                    finally:
+                        resource.release(grant)
+                    rnic.stats_inbound_ops += 1
+                    if duplicated:
+                        # The duplicate arrives right behind the original;
+                        # the responder burns engine time re-serving it,
+                        # then discards it by PSN before any memory op.
+                        grant = yield resource.acquire()
+                        try:
+                            yield whole
+                        finally:
+                            resource.release(grant)
+                        rnic.stats_inbound_ops += 1
+                    yield timing.NIC_RESPONDER_PIPELINE_NS
+                    if not remote_node.alive:
+                        raise _Unreachable()
+                    if executed:
+                        # Retransmission after a lost response: the
+                        # responder resends by PSN without re-executing.
+                        response_bytes = saved_response_bytes
+                    else:
+                        try:
+                            if opcode is Opcode.READ:
+                                memory.check_remote(wr.rkey, wr.raddr, length, write=False)
+                                node.memory.write(wr.laddr, memory.read(wr.raddr, length))
+                                response_bytes = length
+                            else:
+                                memory.check_remote(wr.rkey, wr.raddr, length, write=True)
+                                memory.write(wr.raddr, payload)
+                                response_bytes = 0
+                        except MemoryError_ as err:
+                            if qp_type is QpType.UD:
+                                raise _UdDrop() from err
+                            raise _Malformed(WcStatus.REM_ACCESS_ERR) from err
+                        executed = True
+                        saved_response_bytes = response_bytes
+                elif executed:
+                    # SEND/atomic retransmission after a lost response:
+                    # engine time only, no re-execution (exactly-once).
+                    yield from self._serve_duplicate(remote_node, wr)
+                    response_bytes = saved_response_bytes
+                else:
+                    response_bytes = yield from self._execute_remote(remote_node, wr, payload)
+                    executed = True
+                    saved_response_bytes = response_bytes
+                    if duplicated:
+                        yield from self._serve_duplicate(remote_node, wr)
+                # -- response --
+                response_extra = 0
+                if fabric.link_faults:
+                    rfault = fabric.link_faults.get((remote_gid, node.gid))
+                    if rfault is not None:
+                        if rfault.drops():
+                            if qp_type is QpType.UD:
+                                raise _UdDrop()
+                            raise _Unreachable()
+                        response_extra = rfault.extra_ns
+                yield fabric.one_way_ns(response_bytes) + response_extra
+                yield timing.NIC_RX_COMPLETION_NS
+                byte_len = length
+                break
+            except _UdDrop:
+                # Unreliable datagram: the packet vanished; the sender still
+                # completes successfully and never learns.
+                yield timing.NIC_RX_COMPLETION_NS
+                break
+            except _Unreachable:
+                # No response arrived: wait out the retransmission timer,
+                # then try again; RETRY_EXC_ERR only when the budget dies.
+                if attempts_left > 0:
+                    attempts_left -= 1
+                    yield self.timeout_ns
+                    continue
+                status = WcStatus.RETRY_EXC_ERR
+                yield fabric.one_way_ns(0)
+                yield timing.NIC_RX_COMPLETION_NS
+                break
+            except _RnrNak:
+                # Receiver not ready: honor the RNR retry budget.
+                if rnr_left > 0:
+                    rnr_left -= 1
+                    yield self.rnr_timer_ns
+                    continue
+                status = (
+                    WcStatus.RNR_ERR if self.rnr_retry == 0 else WcStatus.RNR_RETRY_EXC_ERR
+                )
+                yield fabric.one_way_ns(0)
+                yield timing.NIC_RX_COMPLETION_NS
+                break
+            except _Malformed as malformed:
+                status = malformed.status
+                # The NAK still travels back before the requester learns of it.
+                yield fabric.one_way_ns(0)
+                yield timing.NIC_RX_COMPLETION_NS
+                break
         # Deliver completions in posting order (RC FIFO, §4.6).
         if prev_done is not None and not prev_done.triggered:
             yield prev_done
@@ -384,6 +490,8 @@ class QueuePair:
                     service += timing.DC_READ_SERVICE_EXTRA_NS
                 yield from rnic.serve_inbound(service)
                 yield timing.NIC_RESPONDER_PIPELINE_NS
+                if not remote_node.alive:
+                    raise _Unreachable()
                 memory.check_remote(wr.rkey, wr.raddr, wr.length, write=False)
                 data = memory.read(wr.raddr, wr.length)
                 self.node.memory.write(wr.laddr, data)
@@ -395,12 +503,16 @@ class QueuePair:
                     service += timing.DC_WRITE_SERVICE_EXTRA_NS
                 yield from rnic.serve_inbound(service)
                 yield timing.NIC_RESPONDER_PIPELINE_NS
+                if not remote_node.alive:
+                    raise _Unreachable()
                 memory.check_remote(wr.rkey, wr.raddr, wr.length, write=True)
                 memory.write(wr.raddr, payload)
                 return 0
             if wr.opcode in (Opcode.CAS, Opcode.FETCH_ADD):
                 yield from rnic.serve_inbound(timing.ATOMIC_RESPONDER_SERVICE_NS)
                 yield timing.NIC_RESPONDER_PIPELINE_NS
+                if not remote_node.alive:
+                    raise _Unreachable()
                 memory.check_remote(wr.rkey, wr.raddr, 8, write=True)
                 old = int.from_bytes(memory.read(wr.raddr, 8), "big")
                 if wr.opcode is Opcode.CAS:
@@ -413,12 +525,31 @@ class QueuePair:
             # SEND
             yield from rnic.serve_inbound(timing.SEND_RESPONDER_SERVICE_NS)
             yield timing.NIC_RESPONDER_PIPELINE_NS
+            if not remote_node.alive:
+                if self.qp_type is QpType.UD:
+                    raise _UdDrop()
+                raise _Unreachable()
             yield from self._deliver_send(remote_node, wr, payload)
             return 0
         except MemoryError_ as err:
             if self.qp_type is QpType.UD:
                 raise _UdDrop() from err
             raise _Malformed(WcStatus.REM_ACCESS_ERR) from err
+
+    def _serve_duplicate(self, remote_node, wr):
+        """Charge the responder for a packet it will discard by PSN.
+
+        Used for duplicated requests and for retransmissions of an op whose
+        effects already applied (``executed``): the engine re-serves the
+        request, but no memory op or delivery happens (exactly-once).
+        """
+        rnic = remote_node.rnic
+        if wr.opcode in (Opcode.CAS, Opcode.FETCH_ADD):
+            service = timing.ATOMIC_RESPONDER_SERVICE_NS
+        else:
+            service = timing.SEND_RESPONDER_SERVICE_NS
+        yield from rnic.serve_inbound(service)
+        yield timing.NIC_RESPONDER_PIPELINE_NS
 
     def _deliver_send(self, remote_node, wr, payload):
         """Land an inbound SEND in the receiver's queue (or SRQ for DCT)."""
@@ -433,12 +564,12 @@ class QueuePair:
         if not buffers or cq is None:
             if self.qp_type is QpType.UD:
                 raise _UdDrop()
-            raise _Malformed(WcStatus.RNR_ERR)
+            raise _RnrNak()
         recv_buffer = buffers[0]
         if len(payload) > recv_buffer.length:
             if self.qp_type is QpType.UD:
                 raise _UdDrop()
-            raise _Malformed(WcStatus.RNR_ERR)
+            raise _RnrNak()
         buffers.popleft()
         if payload:
             yield timing.SEND_DELIVERY_NS
@@ -497,3 +628,20 @@ class _Malformed(Exception):
 
 class _UdDrop(Exception):
     """Internal: a UD packet was silently dropped (unreliable transport)."""
+
+
+class _Unreachable(Exception):
+    """Internal: no response will arrive (lost packet or dead responder).
+
+    Retryable: the requester waits out its retransmission timer and tries
+    again until ``retry_cnt`` is exhausted, then completes RETRY_EXC_ERR.
+    """
+
+
+class _RnrNak(Exception):
+    """Internal: the responder NAKed receiver-not-ready.
+
+    Retryable against the ``rnr_retry`` budget with ``rnr_timer_ns`` waits;
+    exhaustion completes RNR_ERR (budget 0, the classic immediate error) or
+    RNR_RETRY_EXC_ERR (a non-zero budget ran dry).
+    """

@@ -33,7 +33,8 @@ class WcStatus(enum.Enum):
     BAD_OPCODE_ERR = "BAD_OPCODE_ERR"  # malformed operation code
     FLUSH_ERR = "FLUSH_ERR"  # flushed after the QP entered ERR
     RNR_ERR = "RNR_ERR"  # receiver not ready (no recv buffer)
-    RETRY_EXC_ERR = "RETRY_EXC_ERR"  # remote unreachable (node dead)
+    RNR_RETRY_EXC_ERR = "RNR_RETRY_EXC_ERR"  # receiver not ready, retries exhausted
+    RETRY_EXC_ERR = "RETRY_EXC_ERR"  # remote unreachable (dead/dropped, retries exhausted)
 
 
 #: Opcodes a requester may post (RECV is completion-only).
