@@ -1,10 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos bench-fast bench bench-full
+.PHONY: test chaos bench-fast bench bench-full coverage trace
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Coverage gate (needs the `cov` extra: pip install -e '.[test,cov]').
+# The floor only ratchets up: raise it when coverage rises, never lower it.
+coverage:
+	$(PYTHON) -m pytest --cov=repro --cov-report=term-missing:skip-covered --cov-fail-under=70
+
+# One Perfetto-loadable trace + metrics snapshot of the Fig 3 scenario
+# (open traces/fig03.json at https://ui.perfetto.dev).
+trace:
+	$(PYTHON) -m repro.bench fig03 --trace traces/fig03.json --metrics traces/fig03-metrics.json
 
 # Full seeded chaos schedules (YCSB over KRCORE under fault plans).
 chaos:

@@ -6,6 +6,7 @@
     python -m repro.bench --jobs 4            # fan figures out over processes
     python -m repro.bench --save-dir out/     # export every table as CSV
     python -m repro.bench --perf-json benchmarks/BENCH_2026-08-07.json
+    python -m repro.bench fig03 --trace /tmp/fig03.json --metrics -
 
 Figures are independent simulations, so ``--jobs N`` runs them across a
 ``ProcessPoolExecutor``; results are printed in submission order and the
@@ -14,14 +15,22 @@ table as ``<figure>-<n>.csv`` under DIR.  ``--perf-json PATH`` appends one
 record per figure -- wall seconds, events dispatched, simulated ns, and the
 derived events/sec and simulated-ns/sec -- to a ``BENCH_<date>.json``
 trajectory file (see ``repro.bench.perf``), building a perf history of the
-engine PR over PR.
+engine PR over PR.  ``--trace PATH`` / ``--metrics PATH`` install the
+``repro.obs`` observability layer for each figure and export a
+Perfetto-loadable Chrome trace / a flat metrics snapshot (``-`` prints to
+stdout; multiple figures write ``<stem>-<figure><suffix>`` each).
 """
 
 import argparse
 import sys
 import time
 
-from repro.bench.perf import append_trajectory, load_trajectory, run_figure
+from repro.bench.perf import (
+    append_trajectory,
+    figure_output_path,
+    load_trajectory,
+    run_figure,
+)
 
 ALL_FIGURES = [
     "fig01", "fig03", "fig08", "fig09", "fig10", "fig11",
@@ -61,6 +70,18 @@ def main(argv=None):
         "--perf-label", metavar="TEXT",
         help="label stored with the run in the perf trajectory file",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record a structured trace of each figure's simulation and "
+             "export Chrome trace-event JSON (Perfetto-loadable) to PATH; "
+             "with several figures, each writes <stem>-<figure><suffix>",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="export each figure's metrics snapshot (counters/histograms) "
+             "as JSON to PATH ('-' for stdout); with several figures, each "
+             "writes <stem>-<figure><suffix>",
+    )
     args = parser.parse_args(argv)
     for name in args.figures:
         if name not in ALL_FIGURES:
@@ -73,15 +94,30 @@ def main(argv=None):
         except ValueError as err:
             parser.error(str(err))
 
+    multiple = len(args.figures) > 1
+    per_figure = [
+        (
+            name,
+            figure_output_path(args.trace, name, multiple),
+            figure_output_path(args.metrics, name, multiple),
+        )
+        for name in args.figures
+    ]
     perf_records = []
     started = time.perf_counter()
     if args.jobs == 1 or len(args.figures) == 1:
-        outcomes = (run_figure(name, full=args.full) for name in args.figures)
+        outcomes = (
+            run_figure(name, full=args.full, trace_path=tp, metrics_path=mp)
+            for name, tp, mp in per_figure
+        )
     else:
         from concurrent.futures import ProcessPoolExecutor
 
         pool = ProcessPoolExecutor(max_workers=min(args.jobs, len(args.figures)))
-        futures = [pool.submit(run_figure, name, args.full) for name in args.figures]
+        futures = [
+            pool.submit(run_figure, name, args.full, tp, mp)
+            for name, tp, mp in per_figure
+        ]
         outcomes = (future.result() for future in futures)
     for name, (result, perf) in zip(args.figures, outcomes):
         result.show()

@@ -20,7 +20,7 @@ import pathlib
 import time
 
 
-def run_figure(name, full=False):
+def run_figure(name, full=False, trace_path=None, metrics_path=None):
     """Run one figure module and return ``(FigureResult, perf_record)``.
 
     The cyclic GC is paused for the duration of the run: the engine
@@ -28,6 +28,12 @@ def run_figure(name, full=False):
     figure, and generation-0 collections cost ~20% of wall time while
     reclaiming almost nothing that refcounting doesn't already.  It is
     re-enabled (with one full collection) before returning.
+
+    ``trace_path`` / ``metrics_path`` install a fresh tracer / metrics
+    registry (``repro.obs``) for the duration of the run and export the
+    Chrome trace JSON / metrics snapshot afterwards.  A path of ``"-"``
+    prints to stdout instead.  With both None (the default) the figure
+    runs uninstrumented and its numbers are bit-identical to a plain run.
     """
     from repro.sim import Simulator
 
@@ -38,7 +44,15 @@ def run_figure(name, full=False):
     gc.disable()
     started = time.perf_counter()
     try:
-        result = module.run(fast=not full)
+        if trace_path is None and metrics_path is None:
+            result = module.run(fast=not full)
+        else:
+            from repro import obs
+
+            with obs.observe() as (tracer, registry):
+                result = module.run(fast=not full)
+            _export(trace_path, tracer.to_json)
+            _export(metrics_path, registry.to_json)
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -56,6 +70,29 @@ def run_figure(name, full=False):
         "sim_ns_per_sec": round(sim_ns / wall_s) if wall_s > 0 else None,
     }
     return result, perf
+
+
+def _export(path, to_json):
+    """Write ``to_json()`` to ``path`` (``"-"`` = stdout, None = skip)."""
+    if path is None:
+        return
+    text = to_json()
+    if path == "-":
+        print(text, end="")
+        return
+    target = pathlib.Path(path)
+    if target.parent != pathlib.Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
+
+
+def figure_output_path(path, name, multiple):
+    """Where one figure's export goes: ``path`` itself for a single
+    figure, ``<stem>-<figure><suffix>`` when several share one flag."""
+    if path is None or path == "-" or not multiple:
+        return path
+    p = pathlib.Path(path)
+    return str(p.with_name(f"{p.stem}-{name}{p.suffix or '.json'}"))
 
 
 def default_trajectory_path(directory="benchmarks"):

@@ -14,6 +14,8 @@ its (few-ns) service time, then pays a fixed pipeline latency that does not
 block other ops.
 """
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim import Resource
 
 
@@ -70,10 +72,20 @@ class Rnic:
         # extra generator frame of ``yield from serve()`` is measurable.
         resource = self.command_processor
         grant = yield resource.acquire()
+        if _trace.TRACER is not None:
+            _trace.TRACER.begin(
+                self.sim.now, f"rnic@{self.node.gid}", "rnic.command"
+            )
         try:
             yield int(service_ns)
         finally:
             resource.release(grant)
+        if _trace.TRACER is not None:
+            _trace.TRACER.end(self.sim.now, f"rnic@{self.node.gid}", "rnic.command")
+        if _metrics.METRICS is not None:
+            registry = _metrics.METRICS
+            registry.counter("rnic.command_ops").inc()
+            registry.counter("rnic.command_busy_ns").inc(int(service_ns))
 
     def stall(self, duration_ns, engine="command"):
         """Process: wedge one engine for ``duration_ns`` (fault injection).
@@ -85,10 +97,18 @@ class Rnic:
         """
         resource = self.command_processor if engine == "command" else self.inbound_engine
         grant = yield resource.acquire()
+        if _trace.TRACER is not None:
+            _trace.TRACER.begin(
+                self.sim.now, f"rnic@{self.node.gid}", "rnic.stall", engine=engine
+            )
         try:
             yield int(duration_ns)
         finally:
             resource.release(grant)
+        if _trace.TRACER is not None:
+            _trace.TRACER.end(self.sim.now, f"rnic@{self.node.gid}", "rnic.stall")
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("rnic.stall_ns").inc(int(duration_ns))
 
     def serve_inbound(self, service_ns):
         """Process: occupy the inbound engine for ``service_ns``.
@@ -102,8 +122,16 @@ class Rnic:
         # Resource.serve inlined: this is the per-op responder hot path.
         resource = self.inbound_engine
         grant = yield resource.acquire()
+        if _trace.TRACER is not None:
+            _trace.TRACER.begin(
+                self.sim.now, f"rnic@{self.node.gid}", "rnic.inbound"
+            )
         try:
             yield whole
         finally:
             resource.release(grant)
+        if _trace.TRACER is not None:
+            _trace.TRACER.end(self.sim.now, f"rnic@{self.node.gid}", "rnic.inbound")
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("rnic.inbound_busy_ns").inc(whole)
         self.stats_inbound_ops += 1

@@ -1,0 +1,82 @@
+"""Run a seeded chaos experiment from the command line.
+
+    python -m repro.faults --seed 5
+    python -m repro.faults --seed 5 --ops 50 --trace /tmp/chaos.json
+    python -m repro.faults --seed 5 --metrics -
+
+One run boots the chaos harness (YCSB over KRCORE under a random fault
+plan drawn from ``--seed``), prints the report summary and the applied
+faults, and exits non-zero if any robustness invariant failed.
+
+``--trace PATH`` installs the ``repro.obs`` tracer for the run and
+exports Chrome trace-event JSON (Perfetto-loadable): every injected
+fault shows up as an instant on the ``faults`` track, interleaved with
+the qconnect/meta/retransmission spans it provoked.  ``--metrics PATH``
+exports the flat metrics snapshot (``-`` prints to stdout).
+"""
+
+import argparse
+import sys
+
+from repro.faults.harness import run_chaos
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Run one seeded chaos experiment against the KRCORE stack.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="fault-plan and workload seed (default 1); one seed gives a "
+             "byte-identical report digest",
+    )
+    parser.add_argument(
+        "--servers", type=int, default=2, help="server (fault victim) nodes"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=2, help="client nodes"
+    )
+    parser.add_argument(
+        "--ops", type=int, default=150, help="YCSB ops per client"
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="export a Chrome trace (Perfetto-loadable JSON) of the run",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="export the metrics snapshot as JSON ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace is None and args.metrics is None:
+        report = run_chaos(
+            args.seed,
+            num_servers=args.servers,
+            num_clients=args.clients,
+            ops_per_client=args.ops,
+        )
+    else:
+        from repro import obs
+        from repro.bench.perf import _export
+
+        with obs.observe() as (tracer, registry):
+            report = run_chaos(
+                args.seed,
+                num_servers=args.servers,
+                num_clients=args.clients,
+                ops_per_client=args.ops,
+            )
+        _export(args.trace, tracer.to_json)
+        _export(args.metrics, registry.to_json)
+
+    print(report.summary())
+    for at_ns, kind, summary in report.fault_log:
+        print(f"  t={at_ns}ns {kind}: {summary}")
+    print(f"digest: {report.digest()}")
+    return 0 if report.all_invariants_hold else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

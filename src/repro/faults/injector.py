@@ -16,6 +16,8 @@ module, MR registrations) exactly like an operator would.
 
 from repro.cluster.fabric import LinkFault
 from repro.faults import plan as plan_mod
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 
 class FaultInjector:
@@ -95,4 +97,11 @@ class FaultInjector:
             summary = f"{params['duration_ns']}ns"
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
+        if _trace.TRACER is not None:
+            _trace.TRACER.instant(
+                self.sim.now, "faults", f"fault.{kind}", summary=summary
+            )
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("faults.injected").inc()
+            _metrics.METRICS.counter(f"faults.{kind}").inc()
         self.applied.append((self.sim.now, kind, summary))

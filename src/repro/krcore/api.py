@@ -9,6 +9,8 @@ that posts and waits, which is why a sync 8B READ costs baseline + ~1 us
 
 from repro.cluster import timing
 from repro.krcore.vqp import KrcoreError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.verbs import WorkRequest
 
 
@@ -31,7 +33,13 @@ class KrcoreLib:
 
     def _enter_kernel(self):
         if self.charge_syscall:
-            yield timing.SYSCALL_NS
+            if _trace.TRACER is not None:
+                track = f"krcore@{self.node.gid}"
+                _trace.TRACER.begin(self.sim.now, track, "syscall")
+                yield timing.SYSCALL_NS
+                _trace.TRACER.end(self.sim.now, track, "syscall")
+            else:
+                yield timing.SYSCALL_NS
         else:
             yield 0
 
@@ -48,8 +56,18 @@ class KrcoreLib:
         Cached: ~0.9 us (just the syscall).  Uncached: ~5.4 us (syscall +
         two one-sided READs to the meta server) -- Fig 8a.
         """
+        tracer = _trace.TRACER
+        if tracer is not None:
+            tracer.begin(
+                self.sim.now, f"krcore@{self.node.gid}", "qconnect",
+                gid=gid, vqp=vqp.id,
+            )
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("krcore.qconnects").inc()
         yield from self._enter_kernel()
         yield from vqp.connect(gid, port)
+        if tracer is not None:
+            tracer.end(self.sim.now, f"krcore@{self.node.gid}", "qconnect")
         return vqp
 
     def qbind(self, vqp, port):

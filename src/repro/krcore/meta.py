@@ -10,6 +10,8 @@ import struct
 
 from repro.cluster import timing
 from repro.kvs import DrtmKvClient, DrtmKvServer
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim import Resource
 from repro.verbs import CompletionQueue, DriverContext, QpType, WcStatus
 from repro.verbs.errors import MetaUnavailableError, VerbsError
@@ -129,6 +131,13 @@ class MetaClient:
         return (addr, length)
 
     def _lookup(self, key):
+        if _trace.TRACER is not None:
+            _trace.TRACER.begin(
+                self.sim.now, f"meta@{self.node.gid}", "meta.rpc",
+                key=key.decode("latin-1"),
+            )
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("krcore.meta_rpcs").inc()
         grant = yield self._mutex.acquire()
         try:
             if not self.meta_server.available:
@@ -151,4 +160,9 @@ class MetaClient:
                 ) from err
         finally:
             self._mutex.release(grant)
+        if _trace.TRACER is not None:
+            _trace.TRACER.end(
+                self.sim.now, f"meta@{self.node.gid}", "meta.rpc",
+                found=value is not None,
+            )
         return value

@@ -13,6 +13,8 @@ from repro.krcore.meta import MetaClient
 from repro.krcore.mrstore import MrStore, ValidMr
 from repro.krcore.pool import HybridQpPool
 from repro.krcore.vqp import KrcoreError, Vqp
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.verbs.errors import MetaUnavailableError
 from repro.verbs import (
     CompletionQueue,
@@ -305,6 +307,10 @@ class KrcoreModule:
         background repair reconfigures the physical QP.
         """
         completions = qp.send_cq.poll(64)
+        if completions and _metrics.METRICS is not None:
+            _metrics.METRICS.counter("krcore.completions_dispatched").inc(
+                len(completions)
+            )
         saw_error = False
         for wc in completions:
             if wc.status is not WcStatus.SUCCESS:
@@ -408,12 +414,16 @@ class KrcoreModule:
     def _dct_meta_for(self, cpu_id, gid):
         meta = self.dc_cache.get(gid)
         if meta is None:
+            if _metrics.METRICS is not None:
+                _metrics.METRICS.counter("krcore.dc_cache_misses").inc()
             meta = yield from self.lookup_dct_robust(cpu_id, gid)
             if meta is None:
                 raise KrcoreError(
                     f"no DCT metadata for {gid}", code=WcStatus.REM_ACCESS_ERR
                 )
             self.dc_cache[gid] = meta
+        elif _metrics.METRICS is not None:
+            _metrics.METRICS.counter("krcore.dc_cache_hits").inc()
         return meta
 
     def lookup_dct_robust(self, cpu_id, gid):
@@ -438,6 +448,12 @@ class KrcoreModule:
         """Process: drop a suspect DCCache entry and re-fetch fresh DCT
         metadata (§4.2: metadata is invalidated when the host is down -- a
         restarted host publishes a new key under the same gid)."""
+        if _trace.TRACER is not None:
+            _trace.TRACER.instant(
+                self.sim.now, f"krcore@{self.node.gid}", "dct.revalidate", gid=gid
+            )
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("krcore.dct_revalidations").inc()
         cached = self.dc_cache.get(gid)
         if stale_meta is None or cached is None or cached == tuple(stale_meta):
             self.dc_cache.pop(gid, None)
@@ -834,6 +850,11 @@ class KrcoreModule:
         Used both for background RC promotion and as the degraded-mode
         fallback when the meta service is unreachable (a handshake needs no
         DCT metadata).  Returns the RTS queue pair."""
+        if _trace.TRACER is not None:
+            _trace.TRACER.begin(
+                self.sim.now, f"krcore@{self.node.gid}", "krcore.establish_rc",
+                gid=gid,
+            )
         send_cq = CompletionQueue(self.sim)
         qp = yield from rc_connect(self.context, send_cq, gid, port=KRCORE_RC_PORT)
         # Separate the recv CQ so the dispatcher never steals send
@@ -848,6 +869,10 @@ class KrcoreModule:
         evicted = pool.insert_rc(gid, qp)
         if evicted is not None:
             self._retire_rc(*evicted, pool)
+        if _trace.TRACER is not None:
+            _trace.TRACER.end(
+                self.sim.now, f"krcore@{self.node.gid}", "krcore.establish_rc"
+            )
         return qp
 
     def _create_rc_background(self, gid, pool):

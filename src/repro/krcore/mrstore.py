@@ -16,6 +16,8 @@ posting, or a bad key would wreck the shared QP (§3.1, C#3).
 """
 
 from repro.cluster import timing
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.verbs.errors import MetaUnavailableError
 
 
@@ -89,6 +91,8 @@ class MrStore:
         if entry is None or entry[0] != self.sim.now // self.lease_ns:
             return None
         self.stats_hits += 1
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("krcore.mrstore_hits").inc()
         base, span = entry[1]
         return base <= addr and addr + length <= base + span
 
@@ -108,6 +112,13 @@ class MrStore:
         record = self.cached(gid, rkey)
         if record is None:
             self.stats_misses += 1
+            if _metrics.METRICS is not None:
+                _metrics.METRICS.counter("krcore.mrstore_misses").inc()
+            if _trace.TRACER is not None:
+                _trace.TRACER.begin(
+                    self.sim.now, f"krcore@{self.module.node.gid}",
+                    "mrstore.check", gid=gid, rkey=rkey,
+                )
             try:
                 record = yield from self._lookup_robust(gid, rkey, cpu_id)
             except MetaUnavailableError:
@@ -115,12 +126,22 @@ class MrStore:
                 if stale is None:
                     raise
                 self.stats_stale_accepts += 1
+                if _metrics.METRICS is not None:
+                    _metrics.METRICS.counter("krcore.mrstore_stale_accepts").inc()
                 record = stale[1]
+            finally:
+                if _trace.TRACER is not None:
+                    _trace.TRACER.end(
+                        self.sim.now, f"krcore@{self.module.node.gid}",
+                        "mrstore.check",
+                    )
             if record is None:
                 return False
             self._cache[(gid, rkey)] = (self._epoch(), record)
         else:
             self.stats_hits += 1
+            if _metrics.METRICS is not None:
+                _metrics.METRICS.counter("krcore.mrstore_hits").inc()
         base, span = record
         return base <= addr and addr + length <= base + span
 

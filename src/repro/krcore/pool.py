@@ -7,6 +7,7 @@ are reclaimed LRU when the pool overflows.
 """
 
 from repro.cluster import timing
+from repro.obs import metrics as _metrics
 
 
 class HybridQpPool:
@@ -29,6 +30,8 @@ class HybridQpPool:
     def select_rc(self, gid):
         qp = self.rc[gid]
         self._rc_last_use[gid] = self.sim.now
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("krcore.pool_rc_grabs").inc()
         return qp
 
     def select_dc(self):
@@ -38,6 +41,8 @@ class HybridQpPool:
             raise LookupError(f"cpu {self.cpu_id}: no DC QPs in the pool")
         qp = self.dc[self._dc_next % len(self.dc)]
         self._dc_next += 1
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("krcore.pool_dc_grabs").inc()
         return qp
 
     # -- RC lifecycle ------------------------------------------------------------

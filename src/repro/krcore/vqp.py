@@ -15,6 +15,8 @@ hinges on three duties the paper spells out (§4.4):
 from collections import deque
 
 from repro.cluster import timing
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.verbs.errors import KrcoreError, MetaUnavailableError, VerbsError
 from repro.verbs.types import POSTABLE_OPCODES, Opcode, QpType, WcStatus
 
@@ -84,8 +86,22 @@ class Vqp:
                 self.qp = pool.select_rc(gid)
             else:
                 meta = self.module.dc_cache.get(gid)
+                track = f"krcore@{self.node.gid}"
                 if meta is None:
+                    if _trace.TRACER is not None:
+                        _trace.TRACER.instant(
+                            self.sim.now, track, "dc_cache.miss", gid=gid
+                        )
+                    if _metrics.METRICS is not None:
+                        _metrics.METRICS.counter("krcore.dc_cache_misses").inc()
                     meta = yield from self._fetch_dct_meta(gid, pool)
+                else:
+                    if _trace.TRACER is not None:
+                        _trace.TRACER.instant(
+                            self.sim.now, track, "dc_cache.hit", gid=gid
+                        )
+                    if _metrics.METRICS is not None:
+                        _metrics.METRICS.counter("krcore.dc_cache_hits").inc()
                 if self.qp is None:  # not claimed by the RC fallback
                     self.qp = pool.select_dc()
                     self.dct_meta = meta
@@ -103,9 +119,18 @@ class Vqp:
         returned (no metadata needed on an RC-backed VQP).
         """
         module = self.module
+        track = f"krcore@{self.node.gid}"
         try:
+            if _trace.TRACER is not None:
+                _trace.TRACER.begin(self.sim.now, track, "meta.lookup_dct", gid=gid)
             meta = yield from module.lookup_dct_robust(self.cpu_id, gid)
+            if _trace.TRACER is not None:
+                _trace.TRACER.end(self.sim.now, track, "meta.lookup_dct")
         except MetaUnavailableError as meta_err:
+            if _trace.TRACER is not None:
+                _trace.TRACER.begin(self.sim.now, track, "rc_fallback", gid=gid)
+            if _metrics.METRICS is not None:
+                _metrics.METRICS.counter("krcore.rc_fallbacks").inc()
             try:
                 self.qp = yield from module.establish_rc(gid, pool)
             except (VerbsError, KrcoreError) as rc_err:
@@ -114,6 +139,8 @@ class Vqp:
                     f"failed ({rc_err})",
                     code=getattr(rc_err, "code", None),
                 ) from meta_err
+            if _trace.TRACER is not None:
+                _trace.TRACER.end(self.sim.now, track, "rc_fallback")
             return None
         if meta is None:
             raise KrcoreError(
@@ -241,6 +268,8 @@ class Vqp:
                 code=getattr(err, "code", None) or WcStatus.RETRY_EXC_ERR,
             ) from err
         self.stats_posted += len(phys)
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("krcore.wr_posted").inc(len(phys))
         module.note_traffic(self.remote_gid, self.cpu_id, len(phys))
 
     def _prepare_send(self, pwr):

@@ -1,0 +1,90 @@
+"""``repro.obs``: the observability layer (structured tracing + metrics).
+
+The control plane's argument is *where the time goes* (Fig 3's 413 us
+``create_qp`` vs sub-microsecond DCT reconnection); this package makes
+that visible inside the reproduction.  A :class:`Tracer` records
+span/instant events stamped with simulated nanoseconds and exports
+Chrome trace-event JSON (Perfetto / ``about://tracing``); a
+:class:`MetricsRegistry` holds counters/gauges/histograms and exports a
+flat snapshot.
+
+Both are *globally installed* and consulted by instrumented call sites
+throughout the simulator (engine, verbs, KRCORE, cluster, faults) behind
+a single falsy check, so with nothing installed the hot path cost is one
+module-attribute load::
+
+    with obs.observe() as (tracer, metrics):
+        sim.run_process(...)
+    tracer.export_chrome("trace.json")
+
+Because the simulation is deterministic, a fixed seed produces a
+byte-identical trace export -- see ``tests/test_obs_golden.py``.
+"""
+
+from contextlib import contextmanager
+
+from repro.obs import metrics as _metrics_mod
+from repro.obs import trace as _trace_mod
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "current_metrics",
+    "current_tracer",
+    "install",
+    "observe",
+    "uninstall",
+]
+
+
+def install(tracer=None, metrics=None):
+    """Install the process-wide tracer and/or metrics registry.
+
+    Passing ``None`` for either leaves that side untouched, so the two
+    can be installed independently.  Returns ``(tracer, metrics)`` as
+    currently installed.
+    """
+    if tracer is not None:
+        _trace_mod.TRACER = tracer
+    if metrics is not None:
+        _metrics_mod.METRICS = metrics
+    return _trace_mod.TRACER, _metrics_mod.METRICS
+
+
+def uninstall():
+    """Remove both the tracer and the metrics registry (idempotent)."""
+    _trace_mod.TRACER = None
+    _metrics_mod.METRICS = None
+
+
+def current_tracer():
+    return _trace_mod.TRACER
+
+
+def current_metrics():
+    return _metrics_mod.METRICS
+
+
+@contextmanager
+def observe(tracer=None, metrics=None):
+    """Context manager: install fresh (or given) observers, then restore.
+
+    Yields ``(tracer, metrics)``.  The previous observers are restored on
+    exit, so nested/observing tests never leak global state.
+    """
+    if tracer is None:
+        tracer = Tracer()
+    if metrics is None:
+        metrics = MetricsRegistry()
+    previous = (_trace_mod.TRACER, _metrics_mod.METRICS)
+    _trace_mod.TRACER = tracer
+    _metrics_mod.METRICS = metrics
+    try:
+        yield tracer, metrics
+    finally:
+        _trace_mod.TRACER, _metrics_mod.METRICS = previous

@@ -39,6 +39,8 @@ import heapq
 from collections import deque
 from heapq import heappush
 
+from repro.obs import metrics as _obs_metrics
+
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation kernel itself."""
@@ -343,6 +345,8 @@ class Simulator:
         self._orphan_failures = deque()
         #: Exact number of callbacks this instance's run loop has executed.
         self.events_dispatched = 0
+        #: Timer maturations the run loop performed (hop-1 requeues).
+        self.timer_fires = 0
 
     # -- scheduling ---------------------------------------------------------
 
@@ -463,6 +467,7 @@ class Simulator:
         popheap = heapq.heappop
         popready = ready.popleft
         dispatched = 0
+        timer_fires = 0
         start_ns = self.now
         orphans = self._orphan_failures
         # Sequence number of the heap head iff it matured at the current
@@ -492,6 +497,7 @@ class Simulator:
                             # where a timeout Event's trigger would have
                             # dispatched its waiter.
                             dispatched += 1
+                            timer_fires += 1
                             self._seq += 1
                             ready.append((self._seq, callback, arg))
                             continue
@@ -535,6 +541,7 @@ class Simulator:
                         heap_seq = None
                     if arg.__class__ is int:
                         dispatched += 1
+                        timer_fires += 1
                         self._seq += 1
                         ready.append((self._seq, callback, arg))
                         continue
@@ -550,8 +557,15 @@ class Simulator:
                     raise exc
         finally:
             self.events_dispatched += dispatched
+            self.timer_fires += timer_fires
             Simulator.total_events_dispatched += dispatched
             Simulator.total_sim_ns += self.now - start_ns
+            registry = _obs_metrics.METRICS
+            if registry is not None:
+                registry.counter("sim.dispatches").inc(dispatched)
+                registry.counter("sim.timer_fires").inc(timer_fires)
+                registry.counter("sim.runs").inc()
+                registry.counter("sim.elapsed_ns").inc(self.now - start_ns)
         if until is not None and self.now < until:
             self.now = int(until)
 

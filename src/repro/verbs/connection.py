@@ -13,6 +13,7 @@ replies with its QPN right after ``create_qp`` and performs its own
 RTR/RTS configuration concurrently with the client's.
 """
 
+from repro.obs import trace as _trace
 from repro.sim import Store
 from repro.verbs.errors import VerbsError
 from repro.verbs.types import QpType
@@ -101,6 +102,10 @@ def rc_connect(context, send_cq, server_gid, port=0, sq_depth=None):
     from repro.cluster import timing
 
     node = context.node
+    if _trace.TRACER is not None:
+        _trace.TRACER.begin(
+            node.sim.now, f"verbs@{node.gid}", "rc_connect", server=server_gid
+        )
     kwargs = {} if sq_depth is None else {"sq_depth": sq_depth}
     qp = yield from context.create_qp(QpType.RC, send_cq, recv_cq=send_cq, **kwargs)
     if not node.fabric.has_node(server_gid):
@@ -110,9 +115,17 @@ def rc_connect(context, send_cq, server_gid, port=0, sq_depth=None):
     if manager is None:
         raise ConnectError(f"{server_gid} runs no connection manager")
     # Fixed protocol overhead of the UD handshake (both directions).
+    if _trace.TRACER is not None:
+        _trace.TRACER.begin(node.sim.now, f"verbs@{node.gid}", "handshake")
     yield timing.HANDSHAKE_NS
     yield node.fabric.one_way_ns(_HANDSHAKE_BYTES)
     reply = yield manager.submit({"gid": node.gid, "qpn": qp.qpn, "port": port})
     yield node.fabric.one_way_ns(_HANDSHAKE_BYTES)
+    if _trace.TRACER is not None:
+        _trace.TRACER.end(node.sim.now, f"verbs@{node.gid}", "handshake")
     yield from context.modify_to_ready(qp, remote=(server_gid, reply["qpn"]))
+    if _trace.TRACER is not None:
+        _trace.TRACER.end(
+            node.sim.now, f"verbs@{node.gid}", "rc_connect", qpn=qp.qpn
+        )
     return qp

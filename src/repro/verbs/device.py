@@ -8,6 +8,7 @@ this cost (§2.3.2).
 """
 
 from repro.cluster import timing
+from repro.obs import trace as _trace
 from repro.verbs.cq import CompletionQueue
 from repro.verbs.errors import VerbsError
 from repro.verbs.qp import QueuePair
@@ -56,8 +57,16 @@ class DriverContext:
     def ensure_init(self):
         """Process: pay the one-time driver initialization if needed."""
         if not self._initialized:
+            if _trace.TRACER is not None:
+                _trace.TRACER.begin(
+                    self.sim.now, f"verbs@{self.node.gid}", "driver_init"
+                )
             yield timing.DRIVER_INIT_NS
             self._initialized = True
+            if _trace.TRACER is not None:
+                _trace.TRACER.end(
+                    self.sim.now, f"verbs@{self.node.gid}", "driver_init"
+                )
 
     def alloc_pd(self):
         if not self._initialized:
@@ -68,8 +77,12 @@ class DriverContext:
         """Process: create a completion queue (hardware queue allocation)."""
         if not self._initialized:
             raise VerbsError("driver context not initialized")
+        if _trace.TRACER is not None:
+            _trace.TRACER.begin(self.sim.now, f"verbs@{self.node.gid}", "create_cq")
         yield from self.node.rnic.command(timing.CREATE_CQ_HW_NS)
         yield timing.CREATE_CQ_NS - timing.CREATE_CQ_HW_NS
+        if _trace.TRACER is not None:
+            _trace.TRACER.end(self.sim.now, f"verbs@{self.node.gid}", "create_cq")
         return CompletionQueue(self.sim, depth=depth)
 
     def create_qp(self, qp_type, send_cq, recv_cq=None, sq_depth=timing.SQ_DEPTH_DEFAULT):
@@ -77,8 +90,15 @@ class DriverContext:
         hardware queues (§2.3.1)."""
         if not self._initialized:
             raise VerbsError("driver context not initialized")
+        if _trace.TRACER is not None:
+            _trace.TRACER.begin(
+                self.sim.now, f"verbs@{self.node.gid}", "create_qp",
+                qp_type=qp_type.value,
+            )
         yield from self.node.rnic.command(timing.CREATE_QP_HW_NS)
         yield timing.CREATE_QP_NS - timing.CREATE_QP_HW_NS
+        if _trace.TRACER is not None:
+            _trace.TRACER.end(self.sim.now, f"verbs@{self.node.gid}", "create_qp")
         return QueuePair(self.node, qp_type, send_cq, recv_cq=recv_cq, sq_depth=sq_depth)
 
     def create_qp_fast(self, qp_type, send_cq, recv_cq=None, sq_depth=timing.SQ_DEPTH_DEFAULT):
@@ -91,8 +111,14 @@ class DriverContext:
 
     def modify_to_ready(self, qp, remote=None):
         """Process: INIT -> RTR -> RTS, charging the RNIC command processor."""
+        if _trace.TRACER is not None:
+            _trace.TRACER.begin(
+                self.sim.now, f"verbs@{self.node.gid}", "configure", qpn=qp.qpn
+            )
         yield from self.node.rnic.command(timing.MODIFY_RTR_NS)
         qp.to_init()
         qp.to_rtr(remote)
         yield from self.node.rnic.command(timing.MODIFY_RTS_NS)
         qp.to_rts()
+        if _trace.TRACER is not None:
+            _trace.TRACER.end(self.sim.now, f"verbs@{self.node.gid}", "configure")

@@ -27,6 +27,8 @@ from collections import deque
 
 from repro.cluster import timing
 from repro.cluster.memory import MemoryError_
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim import Store
 from repro.verbs.cq import Completion
 from repro.verbs.errors import QpError, QpOverflowError, VerbsError
@@ -104,9 +106,17 @@ class QueuePair:
 
     # ------------------------------------------------------------------ state
 
+    def _trace_state(self):
+        if _trace.TRACER is not None:
+            _trace.TRACER.instant(
+                self.sim.now, f"verbs@{self.node.gid}", "qp.state",
+                qpn=self.qpn, state=self.state.name,
+            )
+
     def to_init(self):
         self._require_state(QpState.RESET)
         self.state = QpState.INIT
+        self._trace_state()
 
     def to_rtr(self, remote=None):
         self._require_state(QpState.INIT)
@@ -115,10 +125,12 @@ class QueuePair:
                 raise VerbsError("RC RTR requires the remote (gid, qpn)")
             self.remote = remote
         self.state = QpState.RTR
+        self._trace_state()
 
     def to_rts(self):
         self._require_state(QpState.RTR)
         self.state = QpState.RTS
+        self._trace_state()
 
     def _require_state(self, expected):
         if self.state is not expected:
@@ -127,6 +139,7 @@ class QueuePair:
     def reset(self):
         """Drop back to RESET (software part of error recovery)."""
         self.state = QpState.RESET
+        self._trace_state()
         self.remote = None
         self._dc_current = None
         while True:
@@ -188,6 +201,19 @@ class QueuePair:
                 code=WcStatus.FLUSH_ERR,
             )
         self._posted += len(wrs)
+        tracer = _trace.TRACER
+        if tracer is not None:
+            track = f"qp{self.qpn}@{self.node.gid}"
+            now = self.sim.now
+            for wr in wrs:
+                wr.trace_id = tracer.next_async_id()
+                tracer.async_begin(
+                    now, track, f"wr.{wr.opcode.value}", wr.trace_id,
+                    wr_id=wr.wr_id, length=wr.length,
+                )
+        registry = _metrics.METRICS
+        if registry is not None:
+            registry.counter("verbs.wr_posted").inc(len(wrs))
         for wr in wrs:
             self._sq.put(wr)
 
@@ -224,6 +250,13 @@ class QueuePair:
         self._dc_current = target
         self._dc_retargets += 1
         self.stats_reconnects += 1
+        if _trace.TRACER is not None:
+            _trace.TRACER.instant(
+                self.sim.now, f"qp{self.qpn}@{self.node.gid}",
+                "dc.retarget", gid=wr.dct_gid, dct=wr.dct_number,
+            )
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("verbs.dc_retargets").inc()
         delay = timing.DCT_RECONNECT_NS
         if self.sim.now - self._dc_last_retarget_ns < timing.DCT_RECONNECT_BUSY_WINDOW_NS:
             delay += timing.DCT_RECONNECT_BUSY_NS  # teardown not drained yet
@@ -302,6 +335,10 @@ class QueuePair:
                             raise _Unreachable()
                         duplicated = fault.duplicates()
                         wire_out += fault.extra_ns
+                if _metrics.METRICS is not None:
+                    _metrics.METRICS.counter(
+                        f"fabric.link[{node.gid}->{remote_gid}]"
+                    ).inc()
                 yield wire_out
                 # -- remote lookup (_resolve_remote) --
                 if not fabric.has_node(remote_gid):
@@ -332,10 +369,21 @@ class QueuePair:
                     rnic._service_carry = total - whole
                     resource = rnic.inbound_engine
                     grant = yield resource.acquire()
+                    if _trace.TRACER is not None:
+                        _trace.TRACER.begin(
+                            self.sim.now, f"rnic@{remote_gid}", "rnic.inbound",
+                            opcode=opcode.value,
+                        )
                     try:
                         yield whole
                     finally:
                         resource.release(grant)
+                    if _trace.TRACER is not None:
+                        _trace.TRACER.end(
+                            self.sim.now, f"rnic@{remote_gid}", "rnic.inbound"
+                        )
+                    if _metrics.METRICS is not None:
+                        _metrics.METRICS.counter("rnic.inbound_busy_ns").inc(whole)
                     rnic.stats_inbound_ops += 1
                     if duplicated:
                         # The duplicate arrives right behind the original;
@@ -391,6 +439,10 @@ class QueuePair:
                                 raise _UdDrop()
                             raise _Unreachable()
                         response_extra = rfault.extra_ns
+                if _metrics.METRICS is not None:
+                    _metrics.METRICS.counter(
+                        f"fabric.link[{remote_gid}->{node.gid}]"
+                    ).inc()
                 yield fabric.one_way_ns(response_bytes) + response_extra
                 yield timing.NIC_RX_COMPLETION_NS
                 byte_len = length
@@ -405,6 +457,13 @@ class QueuePair:
                 # then try again; RETRY_EXC_ERR only when the budget dies.
                 if attempts_left > 0:
                     attempts_left -= 1
+                    if _trace.TRACER is not None:
+                        _trace.TRACER.instant(
+                            self.sim.now, f"qp{self.qpn}@{node.gid}",
+                            "qp.retransmit", wr_id=wr.wr_id, cause="timeout",
+                        )
+                    if _metrics.METRICS is not None:
+                        _metrics.METRICS.counter("verbs.retransmits").inc()
                     yield self.timeout_ns
                     continue
                 status = WcStatus.RETRY_EXC_ERR
@@ -415,6 +474,13 @@ class QueuePair:
                 # Receiver not ready: honor the RNR retry budget.
                 if rnr_left > 0:
                     rnr_left -= 1
+                    if _trace.TRACER is not None:
+                        _trace.TRACER.instant(
+                            self.sim.now, f"qp{self.qpn}@{node.gid}",
+                            "qp.retransmit", wr_id=wr.wr_id, cause="rnr",
+                        )
+                    if _metrics.METRICS is not None:
+                        _metrics.METRICS.counter("verbs.retransmits").inc()
                     yield self.rnr_timer_ns
                     continue
                 status = (
@@ -597,6 +663,11 @@ class QueuePair:
 
     def _complete(self, wr, status, byte_len=0):
         """Generate (or account) the completion for a finished WR."""
+        if wr.trace_id is not None and _trace.TRACER is not None:
+            _trace.TRACER.async_end(
+                self.sim.now, f"qp{self.qpn}@{self.node.gid}",
+                f"wr.{wr.opcode.value}", wr.trace_id, status=status.name,
+            )
         if status is WcStatus.SUCCESS and not wr.signaled:
             self._pending_unsignaled += 1
             return
@@ -610,6 +681,9 @@ class QueuePair:
         if self.state is QpState.ERR:
             return
         self.state = QpState.ERR
+        self._trace_state()
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("verbs.qp_errors").inc()
         # Flush everything still queued in the send queue.
         while True:
             stale = self._sq.try_get()

@@ -31,6 +31,7 @@ class WorkRequest:
         "dct_gid",
         "dct_number",
         "dct_key",
+        "trace_id",
     )
 
     def __init__(
@@ -64,6 +65,9 @@ class WorkRequest:
         self.dct_gid = dct_gid
         self.dct_number = dct_number
         self.dct_key = dct_key
+        #: Async-span id assigned by post_send when a tracer is installed;
+        #: never cloned (each posted WR is its own span).
+        self.trace_id = None
 
     @classmethod
     def read(cls, laddr, length, lkey, raddr, rkey, wr_id=0, signaled=True, **kwargs):

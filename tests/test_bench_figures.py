@@ -1,0 +1,45 @@
+"""Tier-1 smoke over every figure module at fast scale.
+
+Each ``repro.bench.fig*`` module reruns its simulation and every table it
+produces is byte-compared against the committed fast-mode CSVs under
+``benchmarks/results/fast/csv/``.  This pins two things at once: the
+figures still run (no module rots), and the numbers are exactly what the
+repo advertises -- regenerate with ``make bench-fast`` after a deliberate
+model change.
+
+The whole sweep is a fixed, known workload (~10 s), so it doubles as the
+bit-exactness gate for "observability disabled changes nothing": these
+runs happen with no tracer or metrics registry installed.
+"""
+
+import importlib
+import pathlib
+
+import pytest
+
+from repro import obs
+from repro.bench.__main__ import ALL_FIGURES
+
+FAST_CSV_DIR = (
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "results" / "fast" / "csv"
+)
+
+
+@pytest.mark.parametrize("figure", ALL_FIGURES)
+def test_figure_fast_run_matches_committed_csvs(figure):
+    assert obs.current_tracer() is None and obs.current_metrics() is None
+    module = importlib.import_module(f"repro.bench.{figure}")
+    result = module.run(fast=True)
+    assert result.tables, f"{figure} produced no tables"
+    expected = sorted(FAST_CSV_DIR.glob(f"{figure}-*.csv"))
+    assert len(expected) == len(result.tables), (
+        f"{figure}: {len(result.tables)} tables vs {len(expected)} committed "
+        f"CSVs -- run `make bench-fast` and commit the refreshed files"
+    )
+    for index, table in enumerate(result.tables):
+        path = FAST_CSV_DIR / f"{figure}-{index}.csv"
+        # read_bytes: the csv module emits \r\n and read_text would
+        # quietly normalize it, weakening "byte-identical".
+        assert table.to_csv().encode() == path.read_bytes(), (
+            f"{figure} table {index} diverged from {path}"
+        )
