@@ -21,10 +21,11 @@ chaos:
 	$(PYTHON) -m pytest tests/test_chaos.py -m chaos -q
 
 # Quick perf check: the perf smoke test (budgeted wall time, appends to
-# benchmarks/BENCH_<date>.json) plus one real figure with perf records.
+# benchmarks/BENCH_<date>.json) plus two real figures with perf records
+# (fig10 for the data path, meta_scale for the sharded control plane).
 bench-fast:
 	$(PYTHON) -m pytest benchmarks/perf_smoke.py -m perf -q
-	$(PYTHON) -m repro.bench fig10 --perf-json $$(test -n "$$REPRO_PERF_JSON" && echo "$$REPRO_PERF_JSON" || echo benchmarks/BENCH_$$(date +%Y-%m-%d).json) --perf-label bench-fast
+	$(PYTHON) -m repro.bench fig10 meta_scale --perf-json $$(test -n "$$REPRO_PERF_JSON" && echo "$$REPRO_PERF_JSON" || echo benchmarks/BENCH_$$(date +%Y-%m-%d).json) --perf-label bench-fast
 
 # Regenerate every figure (fast mode) with perf records.
 bench:

@@ -1,7 +1,7 @@
 """Cluster builders shared by the benchmark drivers."""
 
 from repro.cluster import Cluster
-from repro.krcore import KrcoreModule, MetaServer
+from repro.krcore import KrcoreModule, MetaPlane, MetaServer
 from repro.lite import LiteModule
 from repro.sim import Simulator
 from repro.verbs import ConnectionManager, DriverContext
@@ -24,15 +24,31 @@ def lite_cluster(num_nodes=10, memory_size=16 << 20, cores=24):
     return sim, cluster, modules
 
 
-def krcore_cluster(num_nodes=10, meta_index=0, memory_size=16 << 20, cores=24, **kwargs):
-    """A cluster with one meta server and a KRCORE module per node.
+def krcore_cluster(
+    num_nodes=10, meta_index=0, memory_size=16 << 20, cores=24, meta_shards=1, **kwargs
+):
+    """A cluster with a meta plane and a KRCORE module per node.
 
-    The meta node's module boots first (the boot-time broadcast).
+    With ``meta_shards=1`` (the default) this is the paper's deployment:
+    one :class:`MetaServer` on ``cluster.node(meta_index)``, returned
+    bare, with construction order identical to the pre-sharding builder.
+    With ``meta_shards=N`` the shards live on nodes ``meta_index ..
+    meta_index+N-1`` and a :class:`MetaPlane` is returned.  Shard hosts'
+    modules boot first (the boot-time broadcast).
     """
     sim = Simulator()
     cluster = Cluster(sim, num_nodes=num_nodes, cores=cores, memory_size=memory_size)
-    meta = MetaServer(cluster.node(meta_index))
-    order = [meta_index] + [i for i in range(num_nodes) if i != meta_index]
+    if meta_shards == 1:
+        meta = MetaServer(cluster.node(meta_index))
+        meta_indexes = [meta_index]
+    else:
+        shards = [
+            MetaServer(cluster.node(meta_index + offset))
+            for offset in range(meta_shards)
+        ]
+        meta = MetaPlane(shards)
+        meta_indexes = list(range(meta_index, meta_index + meta_shards))
+    order = meta_indexes + [i for i in range(num_nodes) if i not in meta_indexes]
     by_index = {}
     for index in order:
         by_index[index] = KrcoreModule(cluster.node(index), meta, **kwargs)

@@ -41,6 +41,11 @@ def main(argv=None):
         "--ops", type=int, default=150, help="YCSB ops per client"
     )
     parser.add_argument(
+        "--meta-shards", type=int, default=1,
+        help="meta-plane shard count (default 1: the paper's single "
+             "deployment)",
+    )
+    parser.add_argument(
         "--trace", metavar="PATH",
         help="export a Chrome trace (Perfetto-loadable JSON) of the run",
     )
@@ -56,6 +61,7 @@ def main(argv=None):
             num_servers=args.servers,
             num_clients=args.clients,
             ops_per_client=args.ops,
+            meta_shards=args.meta_shards,
         )
     else:
         from repro import obs
@@ -67,6 +73,7 @@ def main(argv=None):
                 num_servers=args.servers,
                 num_clients=args.clients,
                 ops_per_client=args.ops,
+                meta_shards=args.meta_shards,
             )
         _export(args.trace, tracer.to_json)
         _export(args.metrics, registry.to_json)

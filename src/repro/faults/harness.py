@@ -27,7 +27,7 @@ import hashlib
 from repro.cluster import timing
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.krcore import KrcoreLib, KrcoreModule, MetaServer
+from repro.krcore import KrcoreLib, KrcoreModule, MetaPlane, MetaServer
 from repro.sim import Simulator
 from repro.verbs import WcStatus
 from repro.verbs.errors import KrcoreError, MetaUnavailableError
@@ -79,6 +79,12 @@ class ChaosReport:
         self.ops_failed = 0
         self.retried_ops = 0
         self.stale_accepts = 0
+        #: Shard failovers observed across all modules (informational --
+        #: not part of the digest, like the other counters).
+        self.meta_failovers = 0
+        #: qconnects that degraded to a full RC handshake because every
+        #: owner shard was unreachable.
+        self.rc_fallbacks = 0
 
     def record(self, line):
         self.op_log.append(line)
@@ -124,6 +130,7 @@ class ChaosHarness:
         horizon_ns=8 * timing.MS,
         max_attempts=500,
         op_gap_ns=None,
+        meta_shards=1,
     ):
         self.seed = seed
         self.sim = Simulator()
@@ -141,20 +148,28 @@ class ChaosHarness:
         self.op_gap_ns = op_gap_ns
         self.module_kwargs = dict(background_rc=False, mr_lease_ns=mr_lease_ns)
 
-        # Layout: node0 = meta, then servers (the fault victims), then
-        # clients.  Meta and client nodes are never crashed, so every
-        # client process runs to completion and the meta QPs survive --
-        # meta failures are injected as outage windows instead.
+        # Layout: nodes 0..S-1 = meta shards, then servers (the fault
+        # victims), then clients.  Meta and client nodes are never
+        # crashed, so every client process runs to completion and the
+        # meta QPs survive -- meta failures are injected as (possibly
+        # per-shard) outage windows instead.
         from repro.cluster import Cluster
 
-        num_nodes = 1 + num_servers + num_clients
+        num_nodes = meta_shards + num_servers + num_clients
         self.cluster = Cluster(self.sim, num_nodes=num_nodes)
-        self.meta_node = self.cluster.node(0)
-        self.server_nodes = [self.cluster.node(1 + i) for i in range(num_servers)]
-        self.client_nodes = [
-            self.cluster.node(1 + num_servers + i) for i in range(num_clients)
+        self.meta_nodes = [self.cluster.node(i) for i in range(meta_shards)]
+        self.meta_node = self.meta_nodes[0]
+        self.server_nodes = [
+            self.cluster.node(meta_shards + i) for i in range(num_servers)
         ]
-        self.meta = MetaServer(self.meta_node)
+        self.client_nodes = [
+            self.cluster.node(meta_shards + num_servers + i)
+            for i in range(num_clients)
+        ]
+        if meta_shards == 1:
+            self.meta = MetaServer(self.meta_node)
+        else:
+            self.meta = MetaPlane([MetaServer(node) for node in self.meta_nodes])
         self.modules = {}
         for node in self.cluster.nodes:
             self.modules[node.gid] = KrcoreModule(node, self.meta, **self.module_kwargs)
@@ -309,6 +324,12 @@ class ChaosHarness:
         self.report.fault_log = list(self.injector.applied)
         self.report.stale_accepts = sum(
             m.mr_store.stats_stale_accepts for m in self.modules.values()
+        )
+        self.report.meta_failovers = sum(
+            m.stats_meta_failovers for m in self.modules.values()
+        )
+        self.report.rc_fallbacks = sum(
+            m.stats_rc_fallbacks for m in self.modules.values()
         )
 
     def _plan_end(self):

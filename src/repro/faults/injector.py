@@ -93,8 +93,11 @@ class FaultInjector:
                 self.on_restart(node)
             summary = node.gid
         elif kind == plan_mod.META_OUTAGE:
-            self.meta_server.set_outage(params["duration_ns"])
+            shard = params.get("shard")
+            self.meta_server.set_outage(params["duration_ns"], shard=shard)
             summary = f"{params['duration_ns']}ns"
+            if shard is not None:
+                summary += f" shard={shard}"
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
         if _trace.TRACER is not None:

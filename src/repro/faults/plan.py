@@ -117,10 +117,14 @@ class FaultPlan:
         new DCT key once its software stack reloads)."""
         return self._add(FaultEvent(at_ns, NODE_RESTART, gid=gid))
 
-    def meta_outage(self, at_ns, duration_ns):
-        """Make the meta service unreachable for ``duration_ns``."""
+    def meta_outage(self, at_ns, duration_ns, shard=None):
+        """Make the meta service unreachable for ``duration_ns``.
+
+        With a sharded plane, ``shard=i`` darkens only shard ``i`` (its
+        replicas keep serving, so clients fail over); ``shard=None``
+        darkens the whole plane, forcing the RC-fallback degraded path."""
         return self._add(
-            FaultEvent(at_ns, META_OUTAGE, duration_ns=int(duration_ns))
+            FaultEvent(at_ns, META_OUTAGE, duration_ns=int(duration_ns), shard=shard)
         )
 
     # -------------------------------------------------------------- queries

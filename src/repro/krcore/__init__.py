@@ -3,7 +3,8 @@
 The package mirrors the paper's §4 design:
 
 * :mod:`repro.krcore.meta`       -- DCT metadata + ValidMR meta servers
-  backed by DrTM-KV, queried with one-sided READs (§4.2, C#1);
+  backed by DrTM-KV, queried with one-sided READs (§4.2, C#1), plus the
+  consistent-hash :class:`MetaPlane` sharding them for elastic scale-out;
 * :mod:`repro.krcore.pool`       -- the per-CPU hybrid RC/DC QP pool (§4.2);
 * :mod:`repro.krcore.mrstore`    -- MR validation bookkeeping with
   lease-based cache invalidation (§4.2);
@@ -18,7 +19,7 @@ The package mirrors the paper's §4 design:
 """
 
 from repro.krcore.api import KrcoreError, KrcoreLib
-from repro.krcore.meta import MetaServer
+from repro.krcore.meta import MetaPlane, MetaServer
 from repro.krcore.module import KrcoreModule
 
-__all__ = ["KrcoreError", "KrcoreLib", "KrcoreModule", "MetaServer"]
+__all__ = ["KrcoreError", "KrcoreLib", "KrcoreModule", "MetaPlane", "MetaServer"]

@@ -4,8 +4,19 @@ Each node broadcasts its DCT metadata (12 bytes: DCT number + key) to the
 meta servers at boot; every node pre-connects an RCQP per CPU to a nearby
 meta server, so a metadata query is two one-sided READs (~4.5 us) that
 never touch the meta server's CPU.
+
+Beyond the paper's single deployment, :class:`MetaPlane` shards the meta
+service horizontally: ``dct:``/``mr:`` keys are routed over N
+:class:`MetaServer` shards by consistent hashing, every record is
+replicated to the next distinct shard on the ring, and a reader whose
+primary shard is dark fails over to the replica (and, when *every* owner
+is unreachable, degrades to the RC-handshake fallback the single-server
+code already had).  A one-shard plane is behaviourally identical to a
+bare :class:`MetaServer`.
 """
 
+import bisect
+import hashlib
 import struct
 
 from repro.cluster import timing
@@ -20,12 +31,26 @@ _DCT_VALUE = struct.Struct(">IQ")  # DCT number (4B) + DCT key (8B) = 12 B
 _MR_VALUE = struct.Struct(">QQ")  # addr (8B) + length (8B)
 
 
-def _dct_key(gid):
+def dct_key(gid):
+    """The meta-plane key for a node's DCT metadata record."""
     return b"dct:" + gid.encode()
 
 
-def _mr_key(gid, rkey):
+def mr_key(gid, rkey):
+    """The meta-plane key for one published MR record."""
     return b"mr:%s:%d" % (gid.encode(), rkey)
+
+
+def _ring_hash(data):
+    """A deterministic, well-mixed 64-bit hash for ring placement.
+
+    Python's ``hash()`` is salted per process, and a simple polynomial
+    hash maps the near-identical strings used here ("meta-shard-i#v",
+    "dct:nodeN") to contiguous runs -- which degenerates the ring into
+    one arc per shard.  sha256 mixes properly and is seed-free."""
+    if isinstance(data, str):
+        data = data.encode()
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
 
 
 class MetaServer:
@@ -52,12 +77,16 @@ class MetaServer:
 
     # -- fault injection -------------------------------------------------------
 
-    def set_outage(self, duration_ns):
+    def set_outage(self, duration_ns, shard=None):
         """Take the meta service down for ``duration_ns`` from now.
 
         Models a hung/partitioned meta deployment: clients' lookups fail
         until the window passes, exercising their backoff and the RC
-        fallback path.  Overlapping windows extend, never shorten."""
+        fallback path.  Overlapping windows extend, never shorten.  A
+        single deployment *is* shard 0, so ``shard`` may only be None
+        or 0 here (the sharded plane routes other indices)."""
+        if shard not in (None, 0):
+            raise ValueError(f"single meta deployment has no shard {shard}")
         self._outage_until = max(self._outage_until, self.sim.now + int(duration_ns))
 
     @property
@@ -66,33 +95,144 @@ class MetaServer:
 
     # -- boot-time broadcast targets -------------------------------------------
 
-    def publish_dct(self, gid, dct_number, dct_key):
-        self.store.put(_dct_key(gid), _DCT_VALUE.pack(dct_number, dct_key))
+    def publish_dct(self, gid, dct_number, dct_key_value):
+        self.store.put(dct_key(gid), _DCT_VALUE.pack(dct_number, dct_key_value))
 
     def publish_mr(self, gid, rkey, addr, length):
-        self.store.put(_mr_key(gid, rkey), _MR_VALUE.pack(addr, length))
+        self.store.put(mr_key(gid, rkey), _MR_VALUE.pack(addr, length))
 
     def retract_mr(self, gid, rkey):
-        self.store.delete(_mr_key(gid, rkey))
+        self.store.delete(mr_key(gid, rkey))
 
     def retract_node(self, gid):
         """Drop a dead node's DCT metadata (§4.2: metadata is invalidated
         only when the host is down)."""
-        self.store.delete(_dct_key(gid))
+        self.store.delete(dct_key(gid))
+
+
+class MetaPlane:
+    """A sharded meta plane: N :class:`MetaServer` shards on a hash ring.
+
+    Keys are routed by consistent hashing over ``VNODES`` virtual points
+    per shard; each key is owned by its primary shard plus the next
+    ``replication - 1`` distinct shards clockwise on the ring.  Writes go
+    to every owner, reads start at the primary and fail over down the
+    owner list, so one dark shard costs one probe, not an outage.
+
+    A one-shard plane routes every key to shard 0 with no replica, which
+    keeps the single-deployment control path (and its timing) identical.
+    """
+
+    #: Virtual ring points per shard; enough for a reasonable key balance
+    #: at the shard counts we care about (1-16).
+    VNODES = 128
+
+    def __init__(self, shards, replication=2):
+        shards = list(shards)
+        if not shards:
+            raise ValueError("a meta plane needs at least one shard")
+        self.shards = shards
+        self.replication = max(1, min(int(replication), len(shards)))
+        self._ring = []
+        for index in range(len(shards)):
+            for vnode in range(self.VNODES):
+                self._ring.append((_ring_hash(f"meta-shard-{index}#{vnode}"), index))
+        self._ring.sort()
+        self._points = [point for point, _ in self._ring]
+        self._owner_cache = {}
+
+    @classmethod
+    def ensure(cls, meta):
+        """Wrap a bare :class:`MetaServer` into a one-shard plane."""
+        if isinstance(meta, MetaPlane):
+            return meta
+        return cls([meta], replication=1)
+
+    def __len__(self):
+        return len(self.shards)
+
+    # -- routing ---------------------------------------------------------------
+
+    def owner_indices(self, key):
+        """Shard indices owning ``key``: primary first, then replicas."""
+        owners = self._owner_cache.get(key)
+        if owners is not None:
+            return owners
+        start = bisect.bisect_right(self._points, _ring_hash(key))
+        owners = []
+        for step in range(len(self._ring)):
+            index = self._ring[(start + step) % len(self._ring)][1]
+            if index not in owners:
+                owners.append(index)
+                if len(owners) == self.replication:
+                    break
+        self._owner_cache[key] = owners
+        return owners
+
+    def primary_index(self, key):
+        return self.owner_indices(key)[0]
+
+    def owners(self, key):
+        """The owning :class:`MetaServer` shards of ``key``, primary first."""
+        return [self.shards[index] for index in self.owner_indices(key)]
+
+    def owner_gids(self, key):
+        """Distinct gids of the nodes hosting ``key``, primary first."""
+        gids = []
+        for shard in self.owners(key):
+            if shard.node.gid not in gids:
+                gids.append(shard.node.gid)
+        return gids
+
+    # -- write paths (boot broadcast, publication, failure detection) ----------
+
+    def publish_dct(self, gid, dct_number, dct_key_value):
+        for shard in self.owners(dct_key(gid)):
+            shard.publish_dct(gid, dct_number, dct_key_value)
+
+    def publish_mr(self, gid, rkey, addr, length):
+        for shard in self.owners(mr_key(gid, rkey)):
+            shard.publish_mr(gid, rkey, addr, length)
+
+    def retract_mr(self, gid, rkey):
+        for shard in self.owners(mr_key(gid, rkey)):
+            shard.retract_mr(gid, rkey)
+
+    def retract_node(self, gid):
+        # Broadcast: a retraction is idempotent, and deleting everywhere
+        # stays correct if the owner set ever changes between runs.
+        for shard in self.shards:
+            shard.retract_node(gid)
+
+    # -- fault injection -------------------------------------------------------
+
+    def set_outage(self, duration_ns, shard=None):
+        """Dark one shard (``shard=index``) or the whole plane (None)."""
+        if shard is None:
+            for entry in self.shards:
+                entry.set_outage(duration_ns)
+        else:
+            self.shards[shard].set_outage(duration_ns)
+
+    @property
+    def available(self):
+        """True iff every shard is serving (all owners reachable)."""
+        return all(shard.available for shard in self.shards)
 
 
 class MetaClient:
-    """A node's per-CPU handle for querying a meta server with RDMA READs.
+    """A node's per-CPU handle for querying one meta shard with RDMA READs.
 
     One RCQP (pre-connected at boot) plus a scratch buffer, guarded by a
     mutex because the DrTM-KV client supports one lookup at a time.
     """
 
-    def __init__(self, node, meta_server, scratch_bytes=4096):
+    def __init__(self, node, meta_server, scratch_bytes=4096, shard_index=0):
         self.node = node
         self.sim = node.sim
         self.meta_server = meta_server
         self.meta_node = meta_server.node
+        self.shard_index = shard_index
         context = DriverContext(node, kernel=True)
         remote_context = DriverContext(self.meta_node, kernel=True)
         cq = CompletionQueue(self.sim)
@@ -116,7 +256,7 @@ class MetaClient:
 
     def lookup_dct(self, gid):
         """Process: fetch (dct_number, dct_key) for ``gid``, or None."""
-        value = yield from self._lookup(_dct_key(gid))
+        value = yield from self._lookup(dct_key(gid))
         if value is None:
             return None
         number, key = _DCT_VALUE.unpack(value)
@@ -124,7 +264,7 @@ class MetaClient:
 
     def lookup_mr(self, gid, rkey):
         """Process: fetch (addr, length) for a remote MR, or None."""
-        value = yield from self._lookup(_mr_key(gid, rkey))
+        value = yield from self._lookup(mr_key(gid, rkey))
         if value is None:
             return None
         addr, length = _MR_VALUE.unpack(value)
@@ -134,35 +274,44 @@ class MetaClient:
         if _trace.TRACER is not None:
             _trace.TRACER.begin(
                 self.sim.now, f"meta@{self.node.gid}", "meta.rpc",
-                key=key.decode("latin-1"),
+                key=key.decode("latin-1"), shard=self.shard_index,
             )
         if _metrics.METRICS is not None:
             _metrics.METRICS.counter("krcore.meta_rpcs").inc()
-        grant = yield self._mutex.acquire()
+            _metrics.METRICS.counter(
+                f"krcore.meta.shard{self.shard_index}.rpcs"
+            ).inc()
+        value = None
+        # The span must close on *every* exit -- a MetaUnavailableError
+        # escaping with the begin un-ended would corrupt the nesting of
+        # every later span on this track.
         try:
-            if not self.meta_server.available:
-                # The service is in an outage window (or its host is
-                # down): the READ can only time out, so charge the full
-                # retransmission budget before reporting unavailability.
-                yield timing.META_OUTAGE_PROBE_NS
-                raise MetaUnavailableError(
-                    f"meta server on {self.meta_node.gid} is unavailable",
-                    code=WcStatus.RETRY_EXC_ERR,
-                )
+            grant = yield self._mutex.acquire()
             try:
-                value = yield from self.kv.lookup(key)
-            except VerbsError as err:
-                # The host died mid-lookup: surface it as unavailability
-                # so callers can back off / degrade instead of crashing.
-                raise MetaUnavailableError(
-                    f"meta lookup via {self.meta_node.gid} failed: {err}",
-                    code=getattr(err, "code", None),
-                ) from err
+                if not self.meta_server.available:
+                    # The service is in an outage window (or its host is
+                    # down): the READ can only time out, so charge the full
+                    # retransmission budget before reporting unavailability.
+                    yield timing.META_OUTAGE_PROBE_NS
+                    raise MetaUnavailableError(
+                        f"meta server on {self.meta_node.gid} is unavailable",
+                        code=WcStatus.RETRY_EXC_ERR,
+                    )
+                try:
+                    value = yield from self.kv.lookup(key)
+                except VerbsError as err:
+                    # The host died mid-lookup: surface it as unavailability
+                    # so callers can back off / degrade instead of crashing.
+                    raise MetaUnavailableError(
+                        f"meta lookup via {self.meta_node.gid} failed: {err}",
+                        code=getattr(err, "code", None),
+                    ) from err
+            finally:
+                self._mutex.release(grant)
         finally:
-            self._mutex.release(grant)
-        if _trace.TRACER is not None:
-            _trace.TRACER.end(
-                self.sim.now, f"meta@{self.node.gid}", "meta.rpc",
-                found=value is not None,
-            )
+            if _trace.TRACER is not None:
+                _trace.TRACER.end(
+                    self.sim.now, f"meta@{self.node.gid}", "meta.rpc",
+                    found=value is not None,
+                )
         return value

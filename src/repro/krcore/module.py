@@ -9,7 +9,7 @@ control channel used by the QP transfer protocol and MR publication.
 from collections import deque
 
 from repro.cluster import timing
-from repro.krcore.meta import MetaClient
+from repro.krcore.meta import MetaClient, MetaPlane, MetaServer, dct_key, mr_key
 from repro.krcore.mrstore import MrStore, ValidMr
 from repro.krcore.pool import HybridQpPool
 from repro.krcore.vqp import KrcoreError, Vqp
@@ -99,7 +99,13 @@ class KrcoreModule:
     ):
         self.node = node
         self.sim = node.sim
-        self.meta_server = meta_server
+        #: The meta plane this module talks to.  A bare MetaServer is
+        #: wrapped into a one-shard plane, so ``meta_server`` accepts both
+        #: and the single-deployment control path is unchanged.
+        self.meta_plane = MetaPlane.ensure(meta_server)
+        #: The meta shard hosted on *this* node, if any (publication kernel
+        #: messages are only legal on shard hosts).
+        self._local_shard = node.services.get(MetaServer.SERVICE)
         self.context = DriverContext(node, kernel=True)
         self.zero_copy = zero_copy
         self.kernel_buf_bytes = kernel_buf_bytes
@@ -156,18 +162,21 @@ class KrcoreModule:
                 dc_qps.append(qp)
             self._pools.append(HybridQpPool(self.sim, cpu, dc_qps, max_rc=max_rc_per_cpu))
 
-        # --- meta server wiring (boot-time broadcast + pre-connect) ---
+        # --- meta plane wiring (boot-time broadcast + pre-connect) ---
         self._meta_clients = {}
-        meta_server.publish_dct(node.gid, self.dct_target.number, self.dct_target.key)
-        meta_server.publish_mr(
+        self.meta_plane.publish_dct(
+            node.gid, self.dct_target.number, self.dct_target.key
+        )
+        self.meta_plane.publish_mr(
             node.gid, self._buf_region.rkey, self._buf_region.addr, self._buf_region.length
         )
         self.valid_mr.record(self._buf_region)
-        # Prime the DCCache with the meta node itself so kernel messaging
-        # never needs a bootstrap lookup.
-        meta_module = meta_server.node.services.get(self.SERVICE)
-        if meta_module is not None:
-            self.dc_cache[meta_server.node.gid] = meta_module.own_dct_meta
+        # Prime the DCCache with every shard host so kernel messaging to
+        # the meta plane never needs a bootstrap lookup.
+        for shard in self.meta_plane.shards:
+            meta_module = shard.node.services.get(self.SERVICE)
+            if meta_module is not None:
+                self.dc_cache.setdefault(shard.node.gid, meta_module.own_dct_meta)
 
         # --- kernel messaging, transfers, ports ---
         self._port_queues = {}
@@ -189,6 +198,8 @@ class KrcoreModule:
 
         self.stats_transfers = 0
         self.stats_meta_lookups = 0
+        self.stats_meta_failovers = 0
+        self.stats_rc_fallbacks = 0
         self._wrid_tokens = {}
         self._next_token = 1
         self._repairing = set()
@@ -200,15 +211,23 @@ class KrcoreModule:
     def own_dct_meta(self):
         return (self.dct_target.number, self.dct_target.key)
 
+    @property
+    def meta_server(self):
+        """The meta plane (kept under the old name for existing callers;
+        a one-shard plane behaves exactly like the bare server did)."""
+        return self.meta_plane
+
     def pool(self, cpu_id):
         return self._pools[cpu_id % len(self._pools)]
 
-    def meta_client(self, cpu_id):
-        """Per-CPU pre-connected RCQP + DrTM-KV client to the meta server."""
-        key = cpu_id % len(self._pools)
+    def meta_client(self, cpu_id, shard=0):
+        """Per-(CPU, shard) pre-connected RCQP + DrTM-KV client."""
+        key = (cpu_id % len(self._pools), shard)
         client = self._meta_clients.get(key)
         if client is None:
-            client = MetaClient(self.node, self.meta_server)
+            client = MetaClient(
+                self.node, self.meta_plane.shards[shard], shard_index=shard
+            )
             self._meta_clients[key] = client
         return client
 
@@ -254,26 +273,30 @@ class KrcoreModule:
         return region
 
     def _publish_mr(self, region):
-        yield from self.send_kernel_msg(
-            self.meta_server.node.gid,
-            {
-                "type": "publish_mr",
-                "gid": self.node.gid,
-                "rkey": region.rkey,
-                "addr": region.addr,
-                "len": region.length,
-            },
-        )
+        # One kernel message per owning shard host (replication): each
+        # host applies the record to its local shard.
+        for gid in self.meta_plane.owner_gids(mr_key(self.node.gid, region.rkey)):
+            yield from self.send_kernel_msg(
+                gid,
+                {
+                    "type": "publish_mr",
+                    "gid": self.node.gid,
+                    "rkey": region.rkey,
+                    "addr": region.addr,
+                    "len": region.length,
+                },
+            )
 
     def dereg_mr(self, region):
         """Process: deregister -- but only free the MR after one lease
         period, so stale MRStore entries elsewhere can never hit freed
         memory (§4.2)."""
         self.valid_mr.forget(region)
-        yield from self.send_kernel_msg(
-            self.meta_server.node.gid,
-            {"type": "retract_mr", "gid": self.node.gid, "rkey": region.rkey},
-        )
+        for gid in self.meta_plane.owner_gids(mr_key(self.node.gid, region.rkey)):
+            yield from self.send_kernel_msg(
+                gid,
+                {"type": "retract_mr", "gid": self.node.gid, "rkey": region.rkey},
+            )
         self.sim.schedule(
             self.mr_store.lease_ns, lambda: self.node.memory.deregister(region)
         )
@@ -426,17 +449,55 @@ class KrcoreModule:
             _metrics.METRICS.counter("krcore.dc_cache_hits").inc()
         return meta
 
+    def plane_lookup_dct(self, cpu_id, gid):
+        """Process: one DCT lookup via the plane, failing over across the
+        key's owner shards (primary first).  Raises
+        :class:`MetaUnavailableError` only when *every* owner is dark."""
+        return (
+            yield from self._plane_lookup(
+                cpu_id, dct_key(gid), lambda client: client.lookup_dct(gid)
+            )
+        )
+
+    def plane_lookup_mr(self, cpu_id, gid, rkey):
+        """Process: one MR-record lookup via the plane, with failover."""
+        return (
+            yield from self._plane_lookup(
+                cpu_id, mr_key(gid, rkey), lambda client: client.lookup_mr(gid, rkey)
+            )
+        )
+
+    def _plane_lookup(self, cpu_id, key, fetch):
+        owners = self.meta_plane.owner_indices(key)
+        last_error = None
+        for position, shard in enumerate(owners):
+            if position and _trace.TRACER is not None:
+                _trace.TRACER.instant(
+                    self.sim.now, f"krcore@{self.node.gid}", "meta.failover",
+                    shard=shard,
+                )
+            try:
+                return (yield from fetch(self.meta_client(cpu_id, shard)))
+            except MetaUnavailableError as err:
+                last_error = err
+                if position + 1 < len(owners):
+                    self.stats_meta_failovers += 1
+                    if _metrics.METRICS is not None:
+                        _metrics.METRICS.counter("krcore.meta_failovers").inc()
+        raise last_error
+
     def lookup_dct_robust(self, cpu_id, gid):
         """Process: DCT metadata lookup with bounded retry + exponential
-        backoff.  Raises :class:`MetaUnavailableError` once the budget is
-        spent; returns None for a *reachable* meta server with no record
-        (the node never booted or was retracted)."""
+        backoff, each attempt failing over across the key's owner shards.
+        Raises :class:`MetaUnavailableError` once the budget is spent;
+        returns None for a *reachable* owner with no record (the node
+        never booted or was retracted)."""
         backoff = timing.KRCORE_BACKOFF_BASE_NS
         attempt = 0
         while True:
             self.stats_meta_lookups += 1
             try:
-                return (yield from self.meta_client(cpu_id).lookup_dct(gid))
+                return (yield from self.plane_lookup_dct(cpu_id, gid))
             except MetaUnavailableError:
                 attempt += 1
                 if attempt > timing.KRCORE_META_RETRIES:
@@ -545,13 +606,15 @@ class KrcoreModule:
     def _handle_kernel_msg(self, header):
         kind = header.get("type")
         if kind == "publish_mr":
-            if self.meta_server.node is not self.node:
+            if self._local_shard is None:
                 raise KrcoreError("publish_mr sent to a non-meta node")
-            self.meta_server.publish_mr(
+            self._local_shard.publish_mr(
                 header["gid"], header["rkey"], header["addr"], header["len"]
             )
         elif kind == "retract_mr":
-            self.meta_server.retract_mr(header["gid"], header["rkey"])
+            if self._local_shard is None:
+                raise KrcoreError("retract_mr sent to a non-meta node")
+            self._local_shard.retract_mr(header["gid"], header["rkey"])
         elif kind == "transfer":
             yield from self._handle_peer_transfer(header)
             return
@@ -914,7 +977,11 @@ class KrcoreModule:
         # The accepted QP is also useful for our own traffic back.
         pool = self.pool(_stable_key(client_gid) % len(self._pools))
         if not pool.has_rc(client_gid):
-            pool.insert_rc(client_gid, qp)
+            evicted = pool.insert_rc(client_gid, qp)
+            if evicted is not None:
+                # Same as establish_rc: the LRU victim must migrate its
+                # VQPs and leave the RNIC, or it leaks a registered QP.
+                self._retire_rc(*evicted, pool)
 
     # -------------------------------------------------------------- liveness
 
@@ -925,8 +992,8 @@ class KrcoreModule:
         self.mr_store.invalidate(gid)
         for pool in self._pools:
             pool.drop_rc(gid)
-        if self.meta_server.node is self.node:
-            self.meta_server.retract_node(gid)
+        if self._local_shard is not None:
+            self._local_shard.retract_node(gid)
 
     # ------------------------------------------------------------- accounting
 

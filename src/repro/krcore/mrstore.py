@@ -121,6 +121,7 @@ class MrStore:
                 )
             try:
                 record = yield from self._lookup_robust(gid, rkey, cpu_id)
+                epoch = self._epoch()
             except MetaUnavailableError:
                 stale = self._cache.get((gid, rkey))
                 if stale is None:
@@ -128,7 +129,13 @@ class MrStore:
                 self.stats_stale_accepts += 1
                 if _metrics.METRICS is not None:
                     _metrics.METRICS.counter("krcore.mrstore_stale_accepts").inc()
-                record = stale[1]
+                # Keep the *original* epoch: a stale accept is a degraded-
+                # mode verdict, not a revalidation.  Re-stamping it with
+                # the current epoch would promote the entry to fully valid
+                # and suppress the real lookup after the meta plane
+                # recovers -- breaking the one-lease window dereg_mr's
+                # deferred free relies on.
+                epoch, record = stale
             finally:
                 if _trace.TRACER is not None:
                     _trace.TRACER.end(
@@ -137,7 +144,7 @@ class MrStore:
                     )
             if record is None:
                 return False
-            self._cache[(gid, rkey)] = (self._epoch(), record)
+            self._cache[(gid, rkey)] = (epoch, record)
         else:
             self.stats_hits += 1
             if _metrics.METRICS is not None:
@@ -146,13 +153,14 @@ class MrStore:
         return base <= addr and addr + length <= base + span
 
     def _lookup_robust(self, gid, rkey, cpu_id):
-        """Process: MR lookup with bounded retry + exponential backoff."""
+        """Process: MR lookup with bounded retry + exponential backoff,
+        each attempt failing over across the record's owner shards."""
         backoff = timing.KRCORE_BACKOFF_BASE_NS
         attempt = 0
         while True:
             try:
                 return (
-                    yield from self.module.meta_client(cpu_id).lookup_mr(gid, rkey)
+                    yield from self.module.plane_lookup_mr(cpu_id, gid, rkey)
                 )
             except MetaUnavailableError:
                 attempt += 1

@@ -122,11 +122,17 @@ class Vqp:
         track = f"krcore@{self.node.gid}"
         try:
             if _trace.TRACER is not None:
-                _trace.TRACER.begin(self.sim.now, track, "meta.lookup_dct", gid=gid)
+                from repro.krcore.meta import dct_key
+
+                _trace.TRACER.begin(
+                    self.sim.now, track, "meta.lookup_dct", gid=gid,
+                    shard=module.meta_plane.primary_index(dct_key(gid)),
+                )
             meta = yield from module.lookup_dct_robust(self.cpu_id, gid)
             if _trace.TRACER is not None:
                 _trace.TRACER.end(self.sim.now, track, "meta.lookup_dct")
         except MetaUnavailableError as meta_err:
+            module.stats_rc_fallbacks += 1
             if _trace.TRACER is not None:
                 _trace.TRACER.begin(self.sim.now, track, "rc_fallback", gid=gid)
             if _metrics.METRICS is not None:

@@ -62,19 +62,32 @@ def quick_ud_qp(node, sq_depth=292):
     return qp
 
 
-def krcore_cluster(sim, num_nodes=4, meta_index=0, **module_kwargs):
-    """Boot a cluster with a meta server and a KRCORE module per node.
+def krcore_cluster(sim, num_nodes=4, meta_index=0, meta_shards=1, **module_kwargs):
+    """Boot a cluster with a meta plane and a KRCORE module per node.
 
-    The meta node's module boots first so every other module can prime its
-    DCCache with the meta node's own DCT metadata (the boot broadcast).
-    Returns (cluster, meta_server, modules).
+    ``meta_shards=1`` (default) keeps the original single :class:`MetaServer`
+    on ``node(meta_index)``; ``meta_shards=N`` puts shards on nodes
+    ``meta_index .. meta_index+N-1`` and returns a :class:`MetaPlane`.
+    Shard hosts' modules boot first so every other module can prime its
+    DCCache with their DCT metadata (the boot broadcast).
+    Returns (cluster, meta_server_or_plane, modules).
     """
     from repro.cluster import Cluster
-    from repro.krcore import KrcoreModule, MetaServer
+    from repro.krcore import KrcoreModule, MetaPlane, MetaServer
 
     cluster = Cluster(sim, num_nodes=num_nodes)
-    meta = MetaServer(cluster.node(meta_index))
-    order = [meta_index] + [i for i in range(num_nodes) if i != meta_index]
+    if meta_shards == 1:
+        meta = MetaServer(cluster.node(meta_index))
+        meta_indexes = [meta_index]
+    else:
+        meta = MetaPlane(
+            [
+                MetaServer(cluster.node(meta_index + offset))
+                for offset in range(meta_shards)
+            ]
+        )
+        meta_indexes = list(range(meta_index, meta_index + meta_shards))
+    order = meta_indexes + [i for i in range(num_nodes) if i not in meta_indexes]
     by_index = {}
     for index in order:
         by_index[index] = KrcoreModule(cluster.node(index), meta, **module_kwargs)

@@ -43,3 +43,20 @@ def test_figure_fast_run_matches_committed_csvs(figure):
         assert table.to_csv().encode() == path.read_bytes(), (
             f"{figure} table {index} diverged from {path}"
         )
+
+
+def test_meta_scale_throughput_scales_monotonically():
+    """The committed storm numbers must show 1 -> 2 -> 4 shard scaling.
+
+    The parametrized byte-identity test above already pins the committed
+    CSV to a fresh run, so checking the committed file checks the run."""
+    import csv
+
+    with open(FAST_CSV_DIR / "meta_scale-0.csv", newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    shards = [int(row["shards"]) for row in rows]
+    rates = [float(row["throughput (K/s)"].replace(",", "")) for row in rows]
+    assert shards == sorted(shards) and len(shards) >= 3
+    assert all(later > earlier for earlier, later in zip(rates, rates[1:])), (
+        f"meta-lookup throughput is not monotonic over shards: {rates}"
+    )

@@ -78,3 +78,28 @@ def test_meta_outage_exercises_degraded_paths():
     # The outage window forces at least one degraded-mode decision
     # somewhere: a stale-lease acceptance or a client-level retry.
     assert report.stale_accepts + report.retried_ops > 0
+
+
+def _plan_shard_outages(seed):
+    # Two legs against a 2-shard meta plane: the whole plane dark while
+    # the first qconnects are in flight (retry budget exhausts on every
+    # owner -> RC-handshake fallback), then one shard dark mid-run
+    # (reads fail over to the replica; nothing degrades).
+    return (
+        FaultPlan(seed=seed)
+        .meta_outage(0, 1 * MS)
+        .meta_outage(3 * MS, 2 * MS, shard=1)
+        .meta_outage(6 * MS, 1 * MS, shard=0)
+    )
+
+
+def test_sharded_meta_outages_fail_over_and_degrade():
+    first = run_chaos(44, plan=_plan_shard_outages(44), meta_shards=2)
+    assert first.all_invariants_hold, (first.invariants, first.op_log[-10:])
+    assert first.ops_failed == 0
+    # One dark owner -> lookups fail over to the replica shard.
+    assert first.meta_failovers > 0
+    # Every owner dark -> the paper's old control path takes over.
+    assert first.rc_fallbacks > 0
+    second = run_chaos(44, plan=_plan_shard_outages(44), meta_shards=2)
+    assert first.digest() == second.digest(), "sharded chaos: nondeterministic"

@@ -41,3 +41,23 @@ def test_chaos_different_seeds_diverge():
     a = run_chaos(5, ops_per_client=20)
     b = run_chaos(6, ops_per_client=20)
     assert a.digest() != b.digest()
+
+
+def _sharded_plan():
+    # Shard 1 goes dark across a lease boundary; its keys' lookups must
+    # fail over to the replica on shard 0 without any op failing.
+    return (
+        FaultPlan(seed=SEED)
+        .meta_outage(1 * timing.MS, 2 * timing.MS, shard=1)
+    )
+
+
+def test_chaos_smoke_sharded_failover():
+    report = run_chaos(SEED, plan=_sharded_plan(), ops_per_client=30,
+                       meta_shards=2)
+    assert report.all_invariants_hold, report.invariants
+    assert report.ops_failed == 0
+    assert report.meta_failovers > 0  # the replica actually served reads
+    second = run_chaos(SEED, plan=_sharded_plan(), ops_per_client=30,
+                       meta_shards=2)
+    assert report.digest() == second.digest()

@@ -169,6 +169,24 @@ def test_two_sided_rpc_trace_is_deterministic():
     assert first_metrics.value("verbs.wr_posted") >= 2
 
 
+def _assert_spans_balanced(events):
+    """Every sync span must close: B/E counts match per (tid, name).
+
+    Chaos runs abort lookups mid-flight (outages, crashes); a span left
+    open by an escaping exception would corrupt the nesting of every
+    later span on its track."""
+    opens = {}
+    for event in events:
+        key = (event.get("tid"), event.get("name"))
+        if event.get("ph") == "B":
+            opens[key] = opens.get(key, 0) + 1
+        elif event.get("ph") == "E":
+            assert opens.get(key, 0) > 0, f"unmatched end for {key}"
+            opens[key] -= 1
+    leaked = {k: c for k, c in opens.items() if c}
+    assert not leaked, f"unbalanced spans: {leaked}"
+
+
 def test_chaos_slice_trace_is_deterministic():
     first_tracer, first_metrics, first_report = _chaos_scenario()
     second_tracer, second_metrics, second_report = _chaos_scenario()
@@ -181,6 +199,8 @@ def test_chaos_slice_trace_is_deterministic():
                       if e["ph"] == "i" and e["name"].startswith("fault.")]
     assert len(fault_instants) == len(first_report.fault_log)
     assert first_metrics.value("faults.injected") == len(first_report.fault_log)
+    # Even with lookups aborted by faults, no span leaks open.
+    _assert_spans_balanced(first_tracer.events)
 
 
 # ---------------------------------------------------------------------------
