@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos bench-fast bench bench-full coverage trace
+.PHONY: test chaos bench-fast bench bench-full coverage trace check check-sweep
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,3 +34,17 @@ bench:
 # Paper-scale regeneration (slow).
 bench-full:
 	$(PYTHON) -m repro.bench --full
+
+# Model checker (repro.check): replay the committed schedule corpus
+# (tier-1 smoke), then a quick randomized sweep.
+check:
+	$(PYTHON) -m repro.check --replay tests/schedules/*_fifo_clean.json tests/schedules/racey_pipeline_underflow.json
+	$(PYTHON) -m repro.check pool_churn --mode random --seeds 5 --quiet
+
+# Nightly-sized budgeted sweep: random schedules over three scenarios,
+# shrinking any failure to schedules-out/<scenario>.json.
+check-sweep:
+	mkdir -p schedules-out
+	$(PYTHON) -m repro.check pool_churn --mode random --seeds 40 --shrink --out schedules-out/pool_churn.json
+	$(PYTHON) -m repro.check kvs_lin --mode random --seeds 25 --shrink --out schedules-out/kvs_lin.json
+	$(PYTHON) -m repro.check chaos_small --mode pct --seeds 15 --shrink --out schedules-out/chaos_small.json

@@ -1,0 +1,334 @@
+"""The schedule controller: explore same-timestamp interleavings.
+
+The engine dispatches same-timestamp callbacks in FIFO (sequence) order;
+that order is the *only* nondeterminism a real concurrent execution
+would add, because everything else in the simulation is seeded.  A
+:class:`ScheduleController` installed on a :class:`~repro.sim.Simulator`
+(``controller.attach(sim)``) replaces the run loop with one that keeps
+every currently-runnable callback in a ``pending`` list and asks a
+:class:`Strategy` which to dispatch next.
+
+Semantics contract
+------------------
+
+With :class:`FifoStrategy` (the default) the driven run is event-for-
+event identical to the engine's own loop: heap entries mature under the
+same lazy rule (only while the heap head's sequence number is below the
+lowest pending sequence number -- maturing eagerly would hand out hop-2
+sequence numbers in a different order), timer maturation consumes the
+same sequence numbers, dispatch decodes the same inline records, orphan
+failures re-raise at the same point, and the dispatch counters advance
+identically.  ``tests/test_check_controller.py`` pins this down against
+golden traces and randomized workloads.
+
+A *choice point* is any moment where two or more callbacks are pending
+at the current timestamp.  The controller numbers choice points with a
+global step counter; a schedule is fully described by the decisions
+``[(step, choice_index)]`` where the choice differed from FIFO (index
+0), which is what :class:`Schedule` serializes.
+
+Strategies
+----------
+
+* :class:`FifoStrategy` -- always index 0 (the engine's order).
+* :class:`RandomWalkStrategy` -- uniform seeded choice per point.
+* :class:`PctStrategy` -- PCT-style randomized priorities: each distinct
+  runnable (process or callback object) draws a random priority on first
+  sight and the highest-priority pending entry runs; at ``depth - 1``
+  pre-drawn change points the current leader is demoted below everyone,
+  which probabilistically covers every d-ordering bug of depth <= depth.
+* :class:`ReplayStrategy` -- replay recorded decisions (FIFO elsewhere),
+  the deterministic-replay half of the shrinking loop.
+"""
+
+import heapq
+import json
+import random
+
+from repro.obs import metrics as _obs_metrics
+
+__all__ = [
+    "FifoStrategy",
+    "PctStrategy",
+    "RandomWalkStrategy",
+    "ReplayStrategy",
+    "Schedule",
+    "ScheduleController",
+]
+
+
+class FifoStrategy:
+    """The engine's own order: always dispatch the lowest sequence number."""
+
+    name = "fifo"
+
+    def choose(self, step, pending):
+        return 0
+
+    def describe(self):
+        return {"mode": self.name}
+
+
+class RandomWalkStrategy:
+    """Uniform seeded choice at every choice point."""
+
+    name = "random"
+
+    def __init__(self, seed):
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def choose(self, step, pending):
+        return self.rng.randrange(len(pending))
+
+    def describe(self):
+        return {"mode": self.name, "seed": self.seed}
+
+
+class PctStrategy:
+    """PCT-style randomized priorities with ``depth - 1`` change points.
+
+    Priorities attach to the runnable *object* (the process being
+    resumed, or the raw callback), so one logical actor keeps its
+    priority across its whole lifetime -- the property PCT's coverage
+    guarantee rests on.  References to priority holders are retained so
+    CPython id() reuse cannot silently alias two actors within a run.
+    """
+
+    name = "pct"
+
+    def __init__(self, seed, depth=3, horizon=2000):
+        self.seed = seed
+        self.depth = depth
+        self.horizon = horizon
+        self.rng = random.Random(seed)
+        self._change_points = sorted(
+            self.rng.randrange(1, max(horizon, 2)) for _ in range(max(depth - 1, 0))
+        )
+        self._prio = {}  # id(actor) -> [priority, actor]
+        self._demotions = 0
+
+    def _priority(self, entry):
+        actor = entry[1]
+        record = self._prio.get(id(actor))
+        if record is None:
+            record = [self.rng.random(), actor]
+            self._prio[id(actor)] = record
+        return record[0]
+
+    def choose(self, step, pending):
+        while self._change_points and step >= self._change_points[0]:
+            self._change_points.pop(0)
+            leader = max(pending, key=self._priority)
+            self._demotions += 1
+            # Demote below every initial [0, 1) draw, uniquely per demotion.
+            self._prio[id(leader[1])] = [-self._demotions - self.rng.random(), leader[1]]
+        return max(range(len(pending)), key=lambda i: self._priority(pending[i]))
+
+    def describe(self):
+        return {"mode": self.name, "seed": self.seed, "depth": self.depth}
+
+
+class ReplayStrategy:
+    """Replay recorded ``(step, choice)`` decisions; FIFO everywhere else."""
+
+    name = "replay"
+
+    def __init__(self, decisions):
+        self.decisions = [(int(step), int(choice)) for step, choice in decisions]
+        self._by_step = dict(self.decisions)
+
+    def choose(self, step, pending):
+        return self._by_step.get(step, 0)
+
+    def describe(self):
+        return {"mode": self.name, "decisions": self.decisions}
+
+
+class ScheduleController:
+    """Drives a :class:`~repro.sim.Simulator` under a schedule strategy.
+
+    One controller serves one simulator for its whole lifetime: the step
+    counter, recorded decisions, and choice-point log span every
+    ``run()`` call, so a schedule replays across multi-phase scenarios.
+    """
+
+    def __init__(self, strategy=None, record=True):
+        self.strategy = FifoStrategy() if strategy is None else strategy
+        self.record = record
+        self.steps = 0
+        #: Non-FIFO decisions actually taken: [(step, choice_index)].
+        self.decisions = []
+        #: Every choice point seen: [(step, n_alternatives, chosen)].
+        self.points = []
+        self.sim = None
+
+    def attach(self, sim):
+        if sim._controller is not None and sim._controller is not self:
+            raise ValueError("simulator already has a schedule controller")
+        sim._controller = self
+        self.sim = sim
+        return sim
+
+    def detach(self, sim):
+        if sim._controller is self:
+            sim._controller = None
+
+    # ------------------------------------------------------------------ drive
+
+    def drive(self, sim, until=None):
+        """The controller's run loop; see the module docstring for the
+        exact-equivalence contract with ``Simulator.run``."""
+        heap = sim._heap
+        ready = sim._ready
+        popheap = heapq.heappop
+        dispatched = 0
+        timer_fires = 0
+        start_ns = sim.now
+        orphans = sim._orphan_failures
+        strategy = self.strategy
+        record = self.record
+        #: Runnable entries at the current timestamp, ascending sequence
+        #: order (a strict superset view of the engine's ready deque).
+        pending = []
+        try:
+            while True:
+                while ready:
+                    pending.append(ready.popleft())
+                if pending and until is not None and sim.now > until:
+                    break
+                # Lazy heap maturation, exactly the engine's rule: only
+                # while the heap head matured at the current timestamp
+                # with a sequence number below the lowest pending one.
+                while heap and heap[0][0] == sim.now and (
+                    not pending or heap[0][1] < pending[0][0]
+                ):
+                    head = popheap(heap)
+                    if head[3].__class__ is int:
+                        # Timer maturing (hop 1 of 2): fresh sequence
+                        # number, appended like the engine's requeue.
+                        dispatched += 1
+                        timer_fires += 1
+                        sim._seq += 1
+                        pending.append((sim._seq, head[2], head[3]))
+                    else:
+                        # A plain scheduled callback: its (old, lowest)
+                        # sequence number puts it at the front.
+                        pending.insert(0, (head[1], head[2], head[3]))
+                if not pending:
+                    if not heap:
+                        break
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        break
+                    sim.now = when
+                    continue
+                if len(pending) == 1:
+                    index = 0
+                else:
+                    self.steps += 1
+                    index = strategy.choose(self.steps, pending)
+                    if index:
+                        index %= len(pending)
+                    if record:
+                        self.points.append((self.steps, len(pending), index))
+                        if index:
+                            self.decisions.append((self.steps, index))
+                _seq, callback, arg = pending.pop(index)
+                dispatched += 1
+                cls = arg.__class__
+                if cls is int:
+                    # Timer resume (hop 2 of 2).
+                    if callback._wait_gen == arg:
+                        callback._resume(None, None)
+                elif cls is tuple:
+                    # Event waiter resume: (wait generation, event).
+                    gen = arg[0]
+                    if callback._wait_gen == gen:
+                        event = arg[1]
+                        callback._resume(event.value, event._exc)
+                elif arg is None:
+                    callback()
+                else:
+                    callback(arg)
+                if orphans:
+                    _process, exc = orphans.popleft()
+                    raise exc
+        finally:
+            if pending:
+                # Hand undispatched work back to the engine's structures
+                # (an exception or an ``until`` bound mid-timestamp), so
+                # a later run() -- controlled or not -- continues cleanly.
+                pending.extend(ready)
+                ready.clear()
+                ready.extend(pending)
+            sim.events_dispatched += dispatched
+            sim.timer_fires += timer_fires
+            type(sim).total_events_dispatched += dispatched
+            type(sim).total_sim_ns += sim.now - start_ns
+            registry = _obs_metrics.METRICS
+            if registry is not None:
+                registry.counter("sim.dispatches").inc(dispatched)
+                registry.counter("sim.timer_fires").inc(timer_fires)
+                registry.counter("sim.runs").inc()
+                registry.counter("sim.elapsed_ns").inc(sim.now - start_ns)
+        if until is not None and sim.now < until:
+            sim.now = int(until)
+
+
+class Schedule:
+    """A serialized schedule: scenario + decisions, replayable byte-
+    identically.  The JSON layout is versioned and canonical (sorted
+    keys, trailing newline) so committed traces diff cleanly."""
+
+    VERSION = 1
+
+    def __init__(self, scenario, decisions, scenario_kwargs=None, seed=None,
+                 invariant=None, note=None):
+        self.scenario = scenario
+        self.decisions = [(int(step), int(choice)) for step, choice in decisions]
+        self.scenario_kwargs = dict(scenario_kwargs or {})
+        self.seed = seed
+        self.invariant = invariant
+        self.note = note
+
+    def to_dict(self):
+        data = {
+            "version": self.VERSION,
+            "scenario": self.scenario,
+            "scenario_kwargs": self.scenario_kwargs,
+            "decisions": [list(pair) for pair in self.decisions],
+        }
+        if self.seed is not None:
+            data["seed"] = self.seed
+        if self.invariant is not None:
+            data["invariant"] = self.invariant
+        if self.note is not None:
+            data["note"] = self.note
+        return data
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n"
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("version") != cls.VERSION:
+            raise ValueError(f"unsupported schedule version: {data.get('version')!r}")
+        return cls(
+            data["scenario"],
+            [tuple(pair) for pair in data.get("decisions", [])],
+            scenario_kwargs=data.get("scenario_kwargs"),
+            seed=data.get("seed"),
+            invariant=data.get("invariant"),
+            note=data.get("note"),
+        )
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))

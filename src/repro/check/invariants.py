@@ -1,0 +1,314 @@
+"""The invariant registry: control-plane safety properties as hooks.
+
+A :class:`Checker` is installed process-wide via ``repro.check.hooks``
+and fed by guarded call sites in ``krcore`` (pool, module, MRStore,
+meta) and ``cluster`` (RNIC).  Hooks are synchronous, never yield, and
+read simulated time off the calling object's own clock, so an installed
+checker observes a run without perturbing it.
+
+Invariants
+----------
+
+``pool-qp-accounting``
+    Every RNIC-registered RCQP the pool ever managed is either still
+    owned by a pool or was retired (unregistered from its RNIC).  An
+    evicted/dropped QP left registered is a driver-memory leak -- the
+    accept-path variant of this was a real bug fixed in PR 4.
+``dccache-incarnation``
+    Every DCCache insert sourced from the meta plane carries DCT
+    metadata that some incarnation of the target node actually
+    published: a cache entry must never outlive the *namespace* of node
+    incarnations (cross-wired or corrupted metadata).
+``mrstore-lease``
+    MRStore never promotes a verdict past its lease: a fresh-lookup
+    entry is stamped with the current epoch, and a degraded-mode stale
+    accept keeps an epoch strictly in the past (re-stamping it -- the
+    PR 4 bug -- would suppress revalidation after the meta plane
+    recovers).
+``meta-replica-divergence`` / ``meta-lost-write``
+    At quiescence, every live owner shard of a written meta key holds
+    the last written value (convergence); a write visible on *no* live
+    owner was lost across failover.
+``wr-exactly-once``
+    No signaled work-request completion is dispatched twice through one
+    module's ``poll_inner`` (Algorithm 2's wr_id token table), and no
+    token is left undispatched at quiescence.
+``rnic-busy-conservation``
+    Busy intervals of one serialized RNIC engine (capacity-1 resource)
+    never overlap: occupancy is conserved, so modelled throughput
+    ceilings cannot be double-counted.
+
+Scenario-specific invariants are reported through :meth:`Checker.custom`.
+"""
+
+import hashlib
+import json
+
+__all__ = ["Checker", "Violation"]
+
+
+class Violation:
+    """One observed invariant violation."""
+
+    __slots__ = ("invariant", "t", "detail")
+
+    def __init__(self, invariant, t, detail):
+        self.invariant = invariant
+        self.t = int(t)
+        self.detail = detail
+
+    def to_dict(self):
+        return {"invariant": self.invariant, "t": self.t, "detail": self.detail}
+
+    def __repr__(self):
+        return f"Violation({self.invariant!r}, t={self.t}, {self.detail!r})"
+
+
+class Checker:
+    """Collects hook events and evaluates the invariant registry.
+
+    Immediate invariants (lease stamps, duplicate dispatch, busy
+    overlap, cache provenance) are checked at the hook; accounting
+    invariants that need quiescence (pool ownership, replica
+    convergence, token drain) run in :meth:`finalize`.
+    """
+
+    def __init__(self):
+        self.violations = []
+        #: Hook activity counters, name -> count.  Directed tests assert
+        #: these are nonzero, so a silently disconnected hook fails.
+        self.observed = {}
+        # pool accounting: id(qp) -> [qp, gid, rnic-at-insert, state]
+        self._rc_tracked = {}
+        # dccache provenance: gid -> {(dct_number, dct_key), ...}
+        self._published_dct = {}
+        self._incarnations = {}  # gid -> latest incarnation seen
+        # meta writes: key(bytes) -> last value (None == deleted)
+        self._meta_last = {}
+        # wr dispatch: id(module) -> [module, set(wr_id)]
+        self._wr_seen = {}
+        # rnic busy: id(resource) -> [resource, label, last_end]
+        self._busy = {}
+
+    # ------------------------------------------------------------- reporting
+
+    def _note(self, kind):
+        self.observed[kind] = self.observed.get(kind, 0) + 1
+
+    def violate(self, invariant, t, detail):
+        self.violations.append(Violation(invariant, t, detail))
+
+    def custom(self, invariant, t, detail):
+        """Report a scenario-specific invariant violation."""
+        self._note(f"custom.{invariant}")
+        self.violate(invariant, t, detail)
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    # ------------------------------------------------- krcore pool accounting
+
+    def pool_rc_insert(self, pool, gid, qp, evicted):
+        """An RCQP entered ``pool`` (establish_rc / _on_rc_accept),
+        possibly LRU-evicting ``evicted = (gid, qp)``."""
+        self._note("pool.insert")
+        self._rc_tracked[id(qp)] = [qp, gid, qp.node.rnic, "pooled"]
+        if evicted is not None:
+            egid, eqp = evicted
+            record = self._rc_tracked.get(id(eqp))
+            if record is None:
+                record = [eqp, egid, eqp.node.rnic, "evicted"]
+                self._rc_tracked[id(eqp)] = record
+            else:
+                record[3] = "evicted"
+
+    def pool_rc_drop(self, pool, gid, qp):
+        """An RCQP was dropped from a pool (invalidate_node)."""
+        self._note("pool.drop")
+        record = self._rc_tracked.get(id(qp))
+        if record is None:
+            self._rc_tracked[id(qp)] = [qp, gid, qp.node.rnic, "dropped"]
+        else:
+            record[3] = "dropped"
+
+    def rc_retired(self, qp):
+        """A previously pooled RCQP finished retirement (unregistered)."""
+        self._note("pool.retire")
+        record = self._rc_tracked.get(id(qp))
+        if record is not None:
+            record[3] = "retired"
+
+    # -------------------------------------------------- DCCache incarnations
+
+    def dct_published(self, gid, incarnation, meta):
+        """A node incarnation came up and published its DCT metadata."""
+        self._note("dct.publish")
+        self._published_dct.setdefault(gid, set()).add(tuple(meta))
+        self._incarnations[gid] = incarnation
+
+    def dc_cache_insert(self, module, gid, meta):
+        """A DCCache insert sourced from the meta plane (authoritative
+        lookups only -- piggybacked metadata is deliberately unhooked,
+        an in-flight message from an older incarnation is legal)."""
+        self._note("dccache.insert")
+        published = self._published_dct.get(gid)
+        if published is not None and tuple(meta) not in published:
+            self.violate(
+                "dccache-incarnation",
+                module.sim.now,
+                f"{module.node.gid} cached DCT meta {tuple(meta)} for {gid}, "
+                f"never published by any incarnation "
+                f"(latest {self._incarnations.get(gid)})",
+            )
+
+    # --------------------------------------------------------- MRStore lease
+
+    def mr_accept(self, store, gid, rkey, entry_epoch, now_epoch, stale):
+        """MRStore cached a positive verdict for (gid, rkey)."""
+        self._note("mrstore.accept")
+        if entry_epoch > now_epoch:
+            self.violate(
+                "mrstore-lease",
+                store.sim.now,
+                f"{store.module.node.gid} cached ({gid}, rkey={rkey}) with "
+                f"future epoch {entry_epoch} > {now_epoch}",
+            )
+        elif stale and entry_epoch >= now_epoch:
+            self.violate(
+                "mrstore-lease",
+                store.sim.now,
+                f"{store.module.node.gid} re-stamped a stale accept of "
+                f"({gid}, rkey={rkey}) to the current epoch {now_epoch} -- "
+                "suppresses revalidation after the meta plane recovers",
+            )
+        elif not stale and entry_epoch != now_epoch:
+            self.violate(
+                "mrstore-lease",
+                store.sim.now,
+                f"{store.module.node.gid} cached a fresh verdict for "
+                f"({gid}, rkey={rkey}) at past epoch {entry_epoch} != {now_epoch}",
+            )
+
+    # ------------------------------------------------------------ meta plane
+
+    def meta_write(self, server, key, value):
+        """A meta shard applied a write (``value is None`` == delete)."""
+        self._note("meta.write")
+        self._meta_last[bytes(key)] = value
+
+    # ------------------------------------------------------- completion path
+
+    def wr_dispatch(self, module, wr_id):
+        """``poll_inner`` on ``module`` saw a completion for ``wr_id``."""
+        self._note("wr.dispatch")
+        record = self._wr_seen.get(id(module))
+        if record is None:
+            self._wr_seen[id(module)] = [module, {wr_id}]
+            return
+        seen = record[1]
+        if wr_id in seen:
+            self.violate(
+                "wr-exactly-once",
+                module.sim.now,
+                f"{module.node.gid} dispatched wr_id {wr_id} twice",
+            )
+        else:
+            seen.add(wr_id)
+
+    def rnic_busy(self, rnic, label, resource, start, end):
+        """A serialized RNIC engine was occupied over [start, end]."""
+        self._note("rnic.busy")
+        record = self._busy.get(id(resource))
+        if record is None:
+            self._busy[id(resource)] = [resource, label, int(end)]
+            return
+        if start < record[2]:
+            self.violate(
+                "rnic-busy-conservation",
+                rnic.sim.now,
+                f"rnic@{rnic.node.gid} {label} interval [{start}, {end}] "
+                f"overlaps previous busy interval ending at {record[2]}",
+            )
+        record[2] = max(record[2], int(end))
+
+    # --------------------------------------------------------------- finalize
+
+    def finalize(self, modules=(), plane=None, now=0):
+        """Run the quiescence checks; call after the simulation drained."""
+        modules = list(modules)
+        self._finalize_pools(now)
+        if plane is not None:
+            self._finalize_meta(plane, now)
+        for module in modules:
+            if module._wrid_tokens:
+                self.violate(
+                    "wr-exactly-once",
+                    now,
+                    f"{module.node.gid} left {len(module._wrid_tokens)} wr_id "
+                    "token(s) undispatched at quiescence (lost completion)",
+                )
+        return self.violations
+
+    def _finalize_pools(self, now):
+        for qp, gid, rnic, state in self._rc_tracked.values():
+            if qp.node.rnic is not rnic:
+                continue  # the node restarted; that RNIC no longer exists
+            registered = rnic.qp(qp.qpn) is qp
+            if state in ("evicted", "dropped") and registered:
+                self.violate(
+                    "pool-qp-accounting",
+                    now,
+                    f"RCQP qpn={qp.qpn} to {gid} was {state} from the pool on "
+                    f"{qp.node.gid} but is still RNIC-registered (leak)",
+                )
+            elif state == "pooled" and not registered:
+                self.violate(
+                    "pool-qp-accounting",
+                    now,
+                    f"RCQP qpn={qp.qpn} to {gid} is pool-owned on "
+                    f"{qp.node.gid} but not RNIC-registered",
+                )
+
+    def _finalize_meta(self, plane, now):
+        for key, expected in sorted(self._meta_last.items()):
+            owners = [shard for shard in plane.owners(key) if shard.node.alive]
+            if not owners:
+                continue
+            actual = {
+                shard.node.gid: shard.store.get_local(key) for shard in owners
+            }
+            values = list(actual.values())
+            label = key.decode("latin-1")
+            if all(value != expected for value in values):
+                self.violate(
+                    "meta-lost-write",
+                    now,
+                    f"meta key {label}: last write {expected!r} visible on no "
+                    f"live owner ({actual!r})",
+                )
+            elif any(value != expected for value in values):
+                self.violate(
+                    "meta-replica-divergence",
+                    now,
+                    f"meta key {label}: owners diverge at quiescence "
+                    f"({actual!r}, expected {expected!r})",
+                )
+
+    # ---------------------------------------------------------------- export
+
+    def to_dict(self):
+        return {
+            "violations": [v.to_dict() for v in self.violations],
+            "observed": {k: self.observed[k] for k in sorted(self.observed)},
+        }
+
+    def digest(self):
+        """SHA-256 over the canonical JSON of violations + hook counts."""
+        text = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def summary(self):
+        status = "PASS" if self.ok else f"FAIL({len(self.violations)})"
+        hooks = sum(self.observed.values())
+        return f"invariants={status} hook_events={hooks}"

@@ -1,0 +1,84 @@
+"""Delta-debug a failing schedule down to a minimal decision list.
+
+A schedule is just the non-FIFO decisions ``[(step, choice)]``; replay
+is deterministic, so ``still_fails(decisions)`` is a pure predicate and
+classic ddmin applies.  Two reduction passes run to a fixed point:
+
+1. **ddmin chunk removal** -- drop halves, then quarters, ... of the
+   decision list while the failure persists;
+2. **choice lowering** -- for each surviving decision, try choice - 1
+   repeatedly (reaching choice 0 == FIFO drops the entry), so the
+   minimal trace not only has few decisions but the *smallest* ones.
+
+Dropping a decision renumbers nothing: steps are global choice-point
+indices and unaffected points fall back to FIFO, so any sublist of a
+valid decision list is itself a valid schedule -- the property ddmin
+needs for its progress guarantee.
+"""
+
+__all__ = ["shrink_decisions"]
+
+
+def shrink_decisions(decisions, still_fails, max_runs=500):
+    """Minimize ``decisions`` (a list of ``(step, choice)``) under the
+    predicate ``still_fails``.  Returns ``(minimal, runs_used)``.
+
+    ``still_fails`` must be deterministic and true for ``decisions``
+    itself.  ``max_runs`` bounds the number of predicate evaluations
+    (each is a full scenario replay); reduction stops early when spent.
+    """
+    runs = 0
+
+    def fails(candidate):
+        nonlocal runs
+        runs += 1
+        return still_fails(candidate)
+
+    current = list(decisions)
+    # Pass 1: ddmin subset removal.
+    granularity = 2
+    while len(current) >= 2 and runs < max_runs:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current) and runs < max_runs:
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and fails(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Re-scan from the start at the same granularity.
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(granularity * 2, len(current))
+    # A single decision may still be removable entirely.
+    if len(current) == 1 and runs < max_runs and fails([]):
+        current = []
+    # Pass 2: lower each surviving choice toward FIFO.
+    index = 0
+    while index < len(current) and runs < max_runs:
+        step, choice = current[index]
+        lowered = False
+        while choice > 0 and runs < max_runs:
+            next_choice = choice - 1
+            if next_choice == 0:
+                candidate = current[:index] + current[index + 1:]
+            else:
+                candidate = list(current)
+                candidate[index] = (step, next_choice)
+            if fails(candidate):
+                current = candidate
+                choice = next_choice
+                lowered = True
+                if next_choice == 0:
+                    break
+            else:
+                break
+        if lowered and choice == 0:
+            continue  # the entry vanished; same index is the next entry
+        index += 1
+    return current, runs

@@ -14,6 +14,7 @@ its (few-ns) service time, then pays a fixed pipeline latency that does not
 block other ops.
 """
 
+from repro.check import hooks as _check
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.sim import Resource
@@ -72,6 +73,7 @@ class Rnic:
         # extra generator frame of ``yield from serve()`` is measurable.
         resource = self.command_processor
         grant = yield resource.acquire()
+        start = self.sim.now
         if _trace.TRACER is not None:
             _trace.TRACER.begin(
                 self.sim.now, f"rnic@{self.node.gid}", "rnic.command"
@@ -80,6 +82,10 @@ class Rnic:
             yield int(service_ns)
         finally:
             resource.release(grant)
+            if _check.CHECKER is not None:
+                _check.CHECKER.rnic_busy(
+                    self, "command", resource, start, self.sim.now
+                )
         if _trace.TRACER is not None:
             _trace.TRACER.end(self.sim.now, f"rnic@{self.node.gid}", "rnic.command")
         if _metrics.METRICS is not None:
@@ -97,6 +103,7 @@ class Rnic:
         """
         resource = self.command_processor if engine == "command" else self.inbound_engine
         grant = yield resource.acquire()
+        start = self.sim.now
         if _trace.TRACER is not None:
             _trace.TRACER.begin(
                 self.sim.now, f"rnic@{self.node.gid}", "rnic.stall", engine=engine
@@ -105,6 +112,10 @@ class Rnic:
             yield int(duration_ns)
         finally:
             resource.release(grant)
+            if _check.CHECKER is not None:
+                _check.CHECKER.rnic_busy(
+                    self, f"stall:{engine}", resource, start, self.sim.now
+                )
         if _trace.TRACER is not None:
             _trace.TRACER.end(self.sim.now, f"rnic@{self.node.gid}", "rnic.stall")
         if _metrics.METRICS is not None:
@@ -122,6 +133,7 @@ class Rnic:
         # Resource.serve inlined: this is the per-op responder hot path.
         resource = self.inbound_engine
         grant = yield resource.acquire()
+        start = self.sim.now
         if _trace.TRACER is not None:
             _trace.TRACER.begin(
                 self.sim.now, f"rnic@{self.node.gid}", "rnic.inbound"
@@ -130,6 +142,10 @@ class Rnic:
             yield whole
         finally:
             resource.release(grant)
+            if _check.CHECKER is not None:
+                _check.CHECKER.rnic_busy(
+                    self, "inbound", resource, start, self.sim.now
+                )
         if _trace.TRACER is not None:
             _trace.TRACER.end(self.sim.now, f"rnic@{self.node.gid}", "rnic.inbound")
         if _metrics.METRICS is not None:

@@ -19,6 +19,7 @@ import bisect
 import hashlib
 import struct
 
+from repro.check import hooks as _check
 from repro.cluster import timing
 from repro.kvs import DrtmKvClient, DrtmKvServer
 from repro.obs import metrics as _metrics
@@ -96,17 +97,27 @@ class MetaServer:
     # -- boot-time broadcast targets -------------------------------------------
 
     def publish_dct(self, gid, dct_number, dct_key_value):
-        self.store.put(dct_key(gid), _DCT_VALUE.pack(dct_number, dct_key_value))
+        value = _DCT_VALUE.pack(dct_number, dct_key_value)
+        if _check.CHECKER is not None:
+            _check.CHECKER.meta_write(self, dct_key(gid), value)
+        self.store.put(dct_key(gid), value)
 
     def publish_mr(self, gid, rkey, addr, length):
-        self.store.put(mr_key(gid, rkey), _MR_VALUE.pack(addr, length))
+        value = _MR_VALUE.pack(addr, length)
+        if _check.CHECKER is not None:
+            _check.CHECKER.meta_write(self, mr_key(gid, rkey), value)
+        self.store.put(mr_key(gid, rkey), value)
 
     def retract_mr(self, gid, rkey):
+        if _check.CHECKER is not None:
+            _check.CHECKER.meta_write(self, mr_key(gid, rkey), None)
         self.store.delete(mr_key(gid, rkey))
 
     def retract_node(self, gid):
         """Drop a dead node's DCT metadata (§4.2: metadata is invalidated
         only when the host is down)."""
+        if _check.CHECKER is not None:
+            _check.CHECKER.meta_write(self, dct_key(gid), None)
         self.store.delete(dct_key(gid))
 
 

@@ -8,6 +8,7 @@ control channel used by the QP transfer protocol and MR publication.
 
 from collections import deque
 
+from repro.check import hooks as _check
 from repro.cluster import timing
 from repro.krcore.meta import MetaClient, MetaPlane, MetaServer, dct_key, mr_key
 from repro.krcore.mrstore import MrStore, ValidMr
@@ -131,6 +132,12 @@ class KrcoreModule:
             dc_key = _stable_key(node.gid)
         self.dct_target = node.rnic.create_dct_target(dc_key=dc_key)
         self.dct_target.recv_cq = CompletionQueue(self.sim)
+        if _check.CHECKER is not None:
+            _check.CHECKER.dct_published(
+                node.gid,
+                node.incarnation,
+                (self.dct_target.number, self.dct_target.key),
+            )
 
         # --- kernel receive buffer pool ---
         base = node.memory.alloc(kernel_buf_bytes * kernel_buf_count)
@@ -330,6 +337,10 @@ class KrcoreModule:
         background repair reconfigures the physical QP.
         """
         completions = qp.send_cq.poll(64)
+        if completions and _check.CHECKER is not None:
+            for wc in completions:
+                if wc.wr_id:
+                    _check.CHECKER.wr_dispatch(self, wc.wr_id)
         if completions and _metrics.METRICS is not None:
             _metrics.METRICS.counter("krcore.completions_dispatched").inc(
                 len(completions)
@@ -444,6 +455,8 @@ class KrcoreModule:
                 raise KrcoreError(
                     f"no DCT metadata for {gid}", code=WcStatus.REM_ACCESS_ERR
                 )
+            if _check.CHECKER is not None:
+                _check.CHECKER.dc_cache_insert(self, gid, meta)
             self.dc_cache[gid] = meta
         elif _metrics.METRICS is not None:
             _metrics.METRICS.counter("krcore.dc_cache_hits").inc()
@@ -960,6 +973,8 @@ class KrcoreModule:
                 meta = yield from self._dct_meta_for(pool.cpu_id, gid)
                 yield from vqp.transfer_to(pool.select_dc(), new_dct_meta=meta)
         self.node.rnic.unregister_qp(qp)
+        if _check.CHECKER is not None:
+            _check.CHECKER.rc_retired(qp)
 
     def _on_rc_accept(self, qp, client_gid):
         """The remote side of background RC creation: stock the accepted QP
@@ -991,7 +1006,14 @@ class KrcoreModule:
         self.dc_cache.pop(gid, None)
         self.mr_store.invalidate(gid)
         for pool in self._pools:
-            pool.drop_rc(gid)
+            qp = pool.drop_rc(gid)
+            if qp is not None:
+                # An RCQP to a dead peer is useless; leaving it registered
+                # would leak driver memory exactly like an unretired LRU
+                # victim (the pool-qp-accounting invariant).
+                self.node.rnic.unregister_qp(qp)
+                if _check.CHECKER is not None:
+                    _check.CHECKER.rc_retired(qp)
         if self._local_shard is not None:
             self._local_shard.retract_node(gid)
 

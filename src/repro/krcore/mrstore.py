@@ -15,6 +15,7 @@ posting, or a bad key would wreck the shared QP (§3.1, C#3).
   timer alive.)
 """
 
+from repro.check import hooks as _check
 from repro.cluster import timing
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
@@ -119,6 +120,7 @@ class MrStore:
                     self.sim.now, f"krcore@{self.module.node.gid}",
                     "mrstore.check", gid=gid, rkey=rkey,
                 )
+            accepted_stale = False
             try:
                 record = yield from self._lookup_robust(gid, rkey, cpu_id)
                 epoch = self._epoch()
@@ -136,6 +138,7 @@ class MrStore:
                 # recovers -- breaking the one-lease window dereg_mr's
                 # deferred free relies on.
                 epoch, record = stale
+                accepted_stale = True
             finally:
                 if _trace.TRACER is not None:
                     _trace.TRACER.end(
@@ -144,6 +147,10 @@ class MrStore:
                     )
             if record is None:
                 return False
+            if _check.CHECKER is not None:
+                _check.CHECKER.mr_accept(
+                    self, gid, rkey, epoch, self._epoch(), accepted_stale
+                )
             self._cache[(gid, rkey)] = (epoch, record)
         else:
             self.stats_hits += 1

@@ -6,6 +6,7 @@ load; RCQPs appear in the background for frequently-contacted nodes and
 are reclaimed LRU when the pool overflows.
 """
 
+from repro.check import hooks as _check
 from repro.cluster import timing
 from repro.obs import metrics as _metrics
 
@@ -59,11 +60,16 @@ class HybridQpPool:
             del self._rc_last_use[victim]
         self.rc[gid] = qp
         self._rc_last_use[gid] = self.sim.now
+        if _check.CHECKER is not None:
+            _check.CHECKER.pool_rc_insert(self, gid, qp, evicted)
         return evicted
 
     def drop_rc(self, gid):
         self._rc_last_use.pop(gid, None)
-        return self.rc.pop(gid, None)
+        qp = self.rc.pop(gid, None)
+        if qp is not None and _check.CHECKER is not None:
+            _check.CHECKER.pool_rc_drop(self, gid, qp)
+        return qp
 
     # -- accounting ----------------------------------------------------------------
 

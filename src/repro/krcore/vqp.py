@@ -14,6 +14,7 @@ hinges on three duties the paper spells out (§4.4):
 
 from collections import deque
 
+from repro.check import hooks as _check
 from repro.cluster import timing
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
@@ -152,6 +153,8 @@ class Vqp:
             raise KrcoreError(
                 f"no DCT metadata for {gid}", code=WcStatus.REM_ACCESS_ERR
             )
+        if _check.CHECKER is not None:
+            _check.CHECKER.dc_cache_insert(module, gid, meta)
         module.dc_cache[gid] = meta
         return meta
 

@@ -343,6 +343,11 @@ class Simulator:
         self._seq = 0
         self._current = None
         self._orphan_failures = deque()
+        #: Optional schedule controller (repro.check): when set, run()
+        #: delegates to it so same-timestamp dispatch order can be
+        #: explored.  None (the default) keeps the FIFO fast path below
+        #: untouched.
+        self._controller = None
         #: Exact number of callbacks this instance's run loop has executed.
         self.events_dispatched = 0
         #: Timer maturations the run loop performed (hop-1 requeues).
@@ -462,6 +467,8 @@ class Simulator:
         exactly the current timestamp with a lower sequence number than
         the ready head).
         """
+        if self._controller is not None:
+            return self._controller.drive(self, until)
         heap = self._heap
         ready = self._ready
         popheap = heapq.heappop

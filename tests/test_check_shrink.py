@@ -1,0 +1,116 @@
+"""Schedule shrinking: ddmin properties + end-to-end shrink-and-replay.
+
+The hypothesis properties pin the two guarantees the regression corpus
+rests on:
+
+* a shrunk decision list still fails the same invariant (shrinking
+  never "fixes" the schedule it is minimizing);
+* replaying any serialized schedule is deterministic -- two replays
+  yield byte-identical result digests.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check import (
+    ReplayStrategy,
+    Schedule,
+    shrink_decisions,
+)
+from repro.check.runner import (
+    replay_schedule,
+    run_once,
+    shrink_failure,
+    sweep,
+)
+
+# Decision lists over a small step space; steps unique and ascending the
+# way the controller records them.
+decision_lists = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=30),
+              st.integers(min_value=1, max_value=4)),
+    min_size=0, max_size=8,
+    unique_by=lambda pair: pair[0],
+).map(lambda pairs: sorted(pairs))
+
+
+# ------------------------------------------------------- ddmin properties
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(decisions=decision_lists, threshold=st.integers(min_value=1, max_value=4))
+def test_shrink_preserves_failure_and_is_one_minimal(decisions, threshold):
+    """Against a pure predicate ("some decision has choice >= t"), the
+    shrunk list still fails, and no single further removal does."""
+
+    def fails(candidate):
+        return any(choice >= threshold for _step, choice in candidate)
+
+    if not fails(decisions):
+        decisions = decisions + [(31, threshold)]
+    minimal, _runs = shrink_decisions(decisions, fails, max_runs=2000)
+    assert fails(minimal)
+    for index in range(len(minimal)):
+        assert not fails(minimal[:index] + minimal[index + 1:]), (
+            f"{minimal} is not 1-minimal at {index}"
+        )
+    # For this predicate one decision is always sufficient.
+    assert len(minimal) == 1
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(decisions=decision_lists)
+def test_shrink_of_passing_input_raises_nothing_new(decisions):
+    """ddmin on a predicate the input already fails vacuously (always
+    True) reduces to empty; shrink never *adds* decisions."""
+    minimal, _runs = shrink_decisions(decisions, lambda _c: True, max_runs=500)
+    assert minimal == []
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(decisions=decision_lists)
+def test_replaying_any_schedule_twice_is_byte_identical(decisions):
+    """Determinism: the same schedule replayed twice gives identical
+    digests (violations included), whatever the schedule does."""
+    schedule = Schedule("racey_pipeline", decisions)
+    first = replay_schedule(schedule)
+    second = replay_schedule(schedule)
+    assert first.digest() == second.digest()
+    assert first.to_dict() == second.to_dict()
+
+
+# ------------------------------------------------------------- end-to-end
+
+
+def test_shrunk_racey_schedule_still_fails_its_invariant():
+    results, failure = sweep("racey_pipeline", mode="random", seeds=10)
+    assert failure is not None, "random sweep never broke the racey toy"
+    schedule, replay, _runs = shrink_failure(failure, max_runs=150)
+    assert len(schedule.decisions) <= len(failure.decisions)
+    assert any(
+        v.invariant == failure.violations[0].invariant
+        for v in replay.violations
+    )
+    # 1-minimality against the real scenario: dropping any surviving
+    # decision loses the failure.
+    for index in range(len(schedule.decisions)):
+        probe = run_once(
+            "racey_pipeline",
+            ReplayStrategy(
+                schedule.decisions[:index] + schedule.decisions[index + 1:]
+            ),
+            schedule.scenario_kwargs,
+        )
+        assert not any(
+            v.invariant == schedule.invariant for v in probe.violations
+        ), f"shrunk schedule not minimal at decision {index}"
+
+
+def test_shrink_serializes_and_replays_from_disk(tmp_path):
+    _results, failure = sweep("racey_pipeline", mode="random", seeds=10)
+    schedule, _replay, _runs = shrink_failure(failure, max_runs=150)
+    path = tmp_path / "shrunk.json"
+    schedule.save(path)
+    loaded = Schedule.load(path)
+    replayed = replay_schedule(loaded)
+    assert any(v.invariant == schedule.invariant for v in replayed.violations)
