@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos bench-fast bench bench-full coverage trace check check-sweep
+.PHONY: test chaos bench-fast bench bench-full perf-budget coverage trace check check-sweep
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +34,13 @@ bench:
 # Paper-scale regeneration (slow).
 bench-full:
 	$(PYTHON) -m repro.bench --full
+
+# Throughput gate: the latest `make bench` run's aggregate fast-suite
+# events/s must stay within 20% of benchmarks/perf_floor.json.
+# Re-baseline an intended change with:
+#   python -m repro.bench.budget <BENCH.json> --label bench --write-floor
+perf-budget:
+	$(PYTHON) -m repro.bench.budget $$(test -n "$$REPRO_PERF_JSON" && echo "$$REPRO_PERF_JSON" || echo benchmarks/BENCH_$$(date +%Y-%m-%d).json) --label bench
 
 # Model checker (repro.check): replay the committed schedule corpus
 # (tier-1 smoke), then a quick randomized sweep.

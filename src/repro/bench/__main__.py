@@ -7,6 +7,7 @@
     python -m repro.bench --save-dir out/     # export every table as CSV
     python -m repro.bench --perf-json benchmarks/BENCH_2026-08-07.json
     python -m repro.bench fig03 --trace /tmp/fig03.json --metrics -
+    python -m repro.bench fig10 --profile benchmarks/profiles/fig10.pstats.txt
 
 Figures are independent simulations, so ``--jobs N`` runs them across a
 ``ProcessPoolExecutor``; results are printed in submission order and the
@@ -82,6 +83,15 @@ def main(argv=None):
              "as JSON to PATH ('-' for stdout); with several figures, each "
              "writes <stem>-<figure><suffix>",
     )
+    parser.add_argument(
+        "--profile", metavar="PATH",
+        help="run each figure under cProfile and write a pstats text "
+             "report (top functions by cumulative and internal time) to "
+             "PATH ('-' for stdout); with several figures, each writes "
+             "<stem>-<figure><suffix>.  Wall/rate numbers recorded for "
+             "profiled runs carry profiling overhead and are tagged "
+             "\"profiled\" in the perf trajectory",
+    )
     args = parser.parse_args(argv)
     for name in args.figures:
         if name not in ALL_FIGURES:
@@ -100,6 +110,7 @@ def main(argv=None):
             name,
             figure_output_path(args.trace, name, multiple),
             figure_output_path(args.metrics, name, multiple),
+            figure_output_path(args.profile, name, multiple),
         )
         for name in args.figures
     ]
@@ -107,16 +118,17 @@ def main(argv=None):
     started = time.perf_counter()
     if args.jobs == 1 or len(args.figures) == 1:
         outcomes = (
-            run_figure(name, full=args.full, trace_path=tp, metrics_path=mp)
-            for name, tp, mp in per_figure
+            run_figure(name, full=args.full, trace_path=tp, metrics_path=mp,
+                       profile_path=pp)
+            for name, tp, mp, pp in per_figure
         )
     else:
         from concurrent.futures import ProcessPoolExecutor
 
         pool = ProcessPoolExecutor(max_workers=min(args.jobs, len(args.figures)))
         futures = [
-            pool.submit(run_figure, name, args.full, tp, mp)
-            for name, tp, mp in per_figure
+            pool.submit(run_figure, name, args.full, tp, mp, pp)
+            for name, tp, mp, pp in per_figure
         ]
         outcomes = (future.result() for future in futures)
     for name, (result, perf) in zip(args.figures, outcomes):

@@ -1,0 +1,142 @@
+"""Perf-budget gate: fail CI when engine throughput regresses.
+
+``benchmarks/perf_floor.json`` commits the aggregate fast-suite
+``events_per_sec`` the flat engine sustained when the floor was last
+recorded.  This module reads a ``BENCH_<date>.json`` trajectory (as
+written by ``python -m repro.bench --perf-json``), aggregates the most
+recent run's fast-mode figure records, and exits non-zero when the
+measured rate falls more than ``--slack`` (default 20%) below the floor.
+
+    python -m repro.bench.budget benchmarks/BENCH_2026-08-09.json
+    python -m repro.bench.budget BENCH.json --floor benchmarks/perf_floor.json
+    python -m repro.bench.budget BENCH.json --label bench-fast --slack 0.2
+
+Aggregate rate = sum(events_dispatched) / sum(wall_s) over the run's
+fast-mode records, so long figures weigh in proportionally instead of
+each figure voting once.  Records tagged ``"profiled"`` carry cProfile
+overhead and are excluded.  To re-baseline after an intentional change,
+rerun the fast suite on a quiet machine and update the floor file with
+the new aggregate (``--write-floor`` does this).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.bench.perf import load_trajectory
+
+DEFAULT_FLOOR = "benchmarks/perf_floor.json"
+DEFAULT_SLACK = 0.2
+
+
+def aggregate_rate(run):
+    """Sum-of-events over sum-of-wall for a run's clean fast records.
+
+    Returns ``(rate, n_records)``; ``(None, 0)`` when the run holds no
+    usable fast-mode records (all full-mode, profiled, or zero wall).
+    """
+    events = 0
+    wall = 0.0
+    used = 0
+    for record in run.get("figures", []):
+        if record.get("mode") != "fast" or record.get("profiled"):
+            continue
+        if not record.get("wall_s") or record.get("events_dispatched") is None:
+            continue
+        events += record["events_dispatched"]
+        wall += record["wall_s"]
+        used += 1
+    if not used or wall <= 0:
+        return None, 0
+    return events / wall, used
+
+
+def select_run(data, label=None):
+    """The most recent run in the trajectory, optionally filtered by label."""
+    runs = data.get("runs", [])
+    if label is not None:
+        runs = [run for run in runs if run.get("label") == label]
+    return runs[-1] if runs else None
+
+
+def load_floor(path):
+    data = json.loads(pathlib.Path(path).read_text())
+    if "fast_suite_events_per_sec" not in data:
+        raise ValueError(f"{path} is not a perf floor file")
+    return data
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.budget",
+        description="Gate on fast-suite engine throughput vs the committed floor.",
+    )
+    parser.add_argument("trajectory", help="BENCH_<date>.json trajectory file")
+    parser.add_argument(
+        "--floor", default=DEFAULT_FLOOR, metavar="PATH",
+        help=f"committed floor file (default: {DEFAULT_FLOOR})",
+    )
+    parser.add_argument(
+        "--label", metavar="TEXT",
+        help="gate on the latest run with this label (default: latest run)",
+    )
+    parser.add_argument(
+        "--slack", type=float, default=DEFAULT_SLACK, metavar="FRAC",
+        help="tolerated fractional regression below the floor "
+             f"(default: {DEFAULT_SLACK:g} = {DEFAULT_SLACK:.0%})",
+    )
+    parser.add_argument(
+        "--write-floor", action="store_true",
+        help="re-baseline: write the measured aggregate to the floor file "
+             "instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    data = load_trajectory(args.trajectory)
+    run = select_run(data, args.label)
+    if run is None:
+        print(f"perf-budget: no matching run in {args.trajectory}", file=sys.stderr)
+        return 2
+    rate, used = aggregate_rate(run)
+    if rate is None:
+        print(f"perf-budget: run has no clean fast-mode records", file=sys.stderr)
+        return 2
+
+    if args.write_floor:
+        floor_doc = {
+            "schema": 1,
+            "fast_suite_events_per_sec": round(rate),
+            "records_aggregated": used,
+            "recorded": time.strftime("%Y-%m-%d"),
+            "source": str(args.trajectory),
+            "note": "aggregate events/s over the fast figure suite; "
+                    "gate fails below (1 - slack) * floor, slack 0.2",
+        }
+        pathlib.Path(args.floor).write_text(json.dumps(floor_doc, indent=2) + "\n")
+        print(f"perf-budget: floor re-baselined to {round(rate):,} events/s "
+              f"({used} records) in {args.floor}")
+        return 0
+
+    floor = load_floor(args.floor)["fast_suite_events_per_sec"]
+    cutoff = floor * (1.0 - args.slack)
+    verdict = "OK" if rate >= cutoff else "FAIL"
+    print(
+        f"perf-budget: {rate:,.0f} events/s over {used} fast records "
+        f"(floor {floor:,} - {args.slack:.0%} slack = cutoff {cutoff:,.0f}) "
+        f"{verdict}"
+    )
+    if rate < cutoff:
+        print(
+            "perf-budget: fast-suite throughput regressed past the budget; "
+            "investigate before merging (or re-baseline the floor with "
+            "--write-floor if the regression is intended and justified)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,8 @@ import pathlib
 import time
 
 
-def run_figure(name, full=False, trace_path=None, metrics_path=None):
+def run_figure(name, full=False, trace_path=None, metrics_path=None,
+               profile_path=None):
     """Run one figure module and return ``(FigureResult, perf_record)``.
 
     The cyclic GC is paused for the duration of the run: the engine
@@ -34,42 +35,79 @@ def run_figure(name, full=False, trace_path=None, metrics_path=None):
     Chrome trace JSON / metrics snapshot afterwards.  A path of ``"-"``
     prints to stdout instead.  With both None (the default) the figure
     runs uninstrumented and its numbers are bit-identical to a plain run.
+
+    ``profile_path`` runs the figure under :mod:`cProfile` and writes a
+    pstats text report (top functions by cumulative and by internal
+    time) there.  Profiling adds per-call overhead, so the record's
+    wall/rate numbers are *not* comparable to unprofiled runs; the
+    record is tagged ``"profiled": true`` to keep trajectories honest.
     """
-    from repro.sim import Simulator
+    from repro.sim import ENGINE, Simulator
 
     module = importlib.import_module(f"repro.bench.{name}")
     events_before = Simulator.total_events_dispatched
     sim_ns_before = Simulator.total_sim_ns
+    profiler = None
+    if profile_path is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
     gc_was_enabled = gc.isenabled()
     gc.disable()
     started = time.perf_counter()
     try:
-        if trace_path is None and metrics_path is None:
-            result = module.run(fast=not full)
-        else:
-            from repro import obs
-
-            with obs.observe() as (tracer, registry):
+        if profiler is not None:
+            profiler.enable()
+        try:
+            if trace_path is None and metrics_path is None:
                 result = module.run(fast=not full)
-            _export(trace_path, tracer.to_json)
-            _export(metrics_path, registry.to_json)
+            else:
+                from repro import obs
+
+                with obs.observe() as (tracer, registry):
+                    result = module.run(fast=not full)
+                _export(trace_path, tracer.to_json)
+                _export(metrics_path, registry.to_json)
+        finally:
+            if profiler is not None:
+                profiler.disable()
     finally:
         if gc_was_enabled:
             gc.enable()
         gc.collect()
     wall_s = time.perf_counter() - started
+    if profiler is not None:
+        _export(profile_path, lambda: _profile_report(profiler, name))
     events = Simulator.total_events_dispatched - events_before
     sim_ns = Simulator.total_sim_ns - sim_ns_before
     perf = {
         "figure": name,
         "mode": "full" if full else "fast",
+        "engine": ENGINE,
         "wall_s": round(wall_s, 3),
         "events_dispatched": events,
         "sim_ns": sim_ns,
         "events_per_sec": round(events / wall_s) if wall_s > 0 else None,
         "sim_ns_per_sec": round(sim_ns / wall_s) if wall_s > 0 else None,
     }
+    if profiler is not None:
+        perf["profiled"] = True
     return result, perf
+
+
+def _profile_report(profiler, name, top=40):
+    """Render a cProfile run as a two-section pstats text report."""
+    import io
+    import pstats
+
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.strip_dirs()
+    out.write(f"# cProfile of figure {name}\n\n== top {top} by cumulative time ==\n")
+    stats.sort_stats("cumulative").print_stats(top)
+    out.write(f"\n== top {top} by internal time ==\n")
+    stats.sort_stats("tottime").print_stats(top)
+    return out.getvalue()
 
 
 def _export(path, to_json):

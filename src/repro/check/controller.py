@@ -1,6 +1,6 @@
 """The schedule controller: explore same-timestamp interleavings.
 
-The engine dispatches same-timestamp callbacks in FIFO (sequence) order;
+The engine dispatches same-timestamp callbacks in FIFO (schedule) order;
 that order is the *only* nondeterminism a real concurrent execution
 would add, because everything else in the simulation is seeded.  A
 :class:`ScheduleController` installed on a :class:`~repro.sim.Simulator`
@@ -8,18 +8,27 @@ would add, because everything else in the simulation is seeded.  A
 every currently-runnable callback in a ``pending`` list and asks a
 :class:`Strategy` which to dispatch next.
 
+The controller drives both engine cores (``repro.sim.engine_flat`` and
+``repro.sim.engine_classic``), keyed on ``Simulator.FLAT_CORE``: the
+classic drive consumes the ready deque and future heap, the flat drive
+consumes the ready slab and timestamp cohorts (the "cohort hook").  Both
+present the *same* pending lists in the same order at the same moments,
+so choice points, recorded decisions, and replays are interchangeable
+across engines — the committed schedule corpus replays byte-identically
+under either core (``tests/test_check_controller.py`` pins this).
+
 Semantics contract
 ------------------
 
 With :class:`FifoStrategy` (the default) the driven run is event-for-
-event identical to the engine's own loop: heap entries mature under the
-same lazy rule (only while the heap head's sequence number is below the
-lowest pending sequence number -- maturing eagerly would hand out hop-2
-sequence numbers in a different order), timer maturation consumes the
-same sequence numbers, dispatch decodes the same inline records, orphan
-failures re-raise at the same point, and the dispatch counters advance
-identically.  ``tests/test_check_controller.py`` pins this down against
-golden traces and randomized workloads.
+event identical to the engine's own loop: future entries mature under the
+same lazy rule (only while the next matured record predates the lowest
+pending one -- maturing eagerly past a matured plain callback would
+dispatch it late), timer maturation requeues in the same order, dispatch
+decodes the same inline records, orphan failures re-raise at the same
+point, and the dispatch counters advance identically.
+``tests/test_check_controller.py`` pins this down against golden traces
+and randomized workloads.
 
 A *choice point* is any moment where two or more callbacks are pending
 at the current timestamp.  The controller numbers choice points with a
@@ -93,6 +102,13 @@ class PctStrategy:
     priority across its whole lifetime -- the property PCT's coverage
     guarantee rests on.  References to priority holders are retained so
     CPython id() reuse cannot silently alias two actors within a run.
+
+    A pending entry is ``(seq, callback, arg)`` under the classic engine
+    and ``(callback, arg)`` under the flat one, so the actor is always
+    ``entry[-2]``.  Note the engines encode zero-delay timer actors
+    differently (a per-yield ``_TimerResume`` object vs the process
+    itself), so a PCT seed explores different-but-equally-valid schedules
+    per engine; recorded *decisions* replay identically on both.
     """
 
     name = "pct"
@@ -109,7 +125,7 @@ class PctStrategy:
         self._demotions = 0
 
     def _priority(self, entry):
-        actor = entry[1]
+        actor = entry[-2]
         record = self._prio.get(id(actor))
         if record is None:
             record = [self.rng.random(), actor]
@@ -122,7 +138,8 @@ class PctStrategy:
             leader = max(pending, key=self._priority)
             self._demotions += 1
             # Demote below every initial [0, 1) draw, uniquely per demotion.
-            self._prio[id(leader[1])] = [-self._demotions - self.rng.random(), leader[1]]
+            actor = leader[-2]
+            self._prio[id(actor)] = [-self._demotions - self.rng.random(), actor]
         return max(range(len(pending)), key=lambda i: self._priority(pending[i]))
 
     def describe(self):
@@ -178,7 +195,14 @@ class ScheduleController:
 
     def drive(self, sim, until=None):
         """The controller's run loop; see the module docstring for the
-        exact-equivalence contract with ``Simulator.run``."""
+        exact-equivalence contract with ``Simulator.run``.  Dispatches on
+        the engine core: the flat engine is driven through its timestamp
+        cohorts, the classic one through its ready deque and heap."""
+        if getattr(sim, "FLAT_CORE", False):
+            return self._drive_flat(sim, until)
+        return self._drive_classic(sim, until)
+
+    def _drive_classic(self, sim, until=None):
         heap = sim._heap
         ready = sim._ready
         popheap = heapq.heappop
@@ -262,6 +286,165 @@ class ScheduleController:
                 pending.extend(ready)
                 ready.clear()
                 ready.extend(pending)
+            sim.events_dispatched += dispatched
+            sim.timer_fires += timer_fires
+            type(sim).total_events_dispatched += dispatched
+            type(sim).total_sim_ns += sim.now - start_ns
+            registry = _obs_metrics.METRICS
+            if registry is not None:
+                registry.counter("sim.dispatches").inc(dispatched)
+                registry.counter("sim.timer_fires").inc(timer_fires)
+                registry.counter("sim.runs").inc()
+                registry.counter("sim.elapsed_ns").inc(sim.now - start_ns)
+        if until is not None and sim.now < until:
+            sim.now = int(until)
+
+    def _drive_flat(self, sim, until=None):
+        """The cohort hook: drive the flat engine's slabs.
+
+        Pending entries are ``(callback, arg)`` pairs in dispatch order
+        (the flat engine's order is positional — no sequence numbers).
+        The one place the classic engine's sequence arbitration still
+        matters is cohort maturation: a plain callback matured out of the
+        current cohort predates every other pending entry, so it enters
+        at the *front* of ``pending`` and further maturation stalls until
+        it is dispatched (``front_matured``, mirroring the classic lazy
+        rule ``heap[0][1] < pending[0][0]``).  Timer records always
+        mature: their hop-2 requeue is newer than everything pending.
+        """
+        rbuf = sim._rbuf
+        heap = sim._heap
+        free = sim._free
+        popheap = heapq.heappop
+        dispatched = 0
+        timer_fires = 0
+        start_ns = sim.now
+        orphans = sim._orphan_failures
+        strategy = self.strategy
+        record = self.record
+        pos = sim._rpos
+        cohort = sim._cohort
+        cpos = sim._cpos
+        #: True while pending[0] is a plain callback matured out of the
+        #: current cohort (it blocks further maturation; on exit it is
+        #: rewound into the cohort rather than handed back, so the flag
+        #: never needs to outlive one drive call).
+        front_matured = False
+        #: Runnable entries at the current timestamp, dispatch order.
+        pending = []
+        try:
+            while True:
+                while pos < len(rbuf):
+                    pending.append((rbuf[pos], rbuf[pos + 1]))
+                    pos += 2
+                del rbuf[:]
+                pos = 0
+                if pending and until is not None and sim.now > until:
+                    break
+                # Lazy cohort maturation, exactly the classic rule: only
+                # while no earlier-scheduled matured plain callback is
+                # still pending at the front.
+                if cohort is not None and not front_matured:
+                    n = len(cohort)
+                    while cpos < n:
+                        arg = cohort[cpos + 1]
+                        if arg.__class__ is int:
+                            # Timer maturing (hop 1): requeued behind
+                            # everything pending, like the engine's.
+                            dispatched += 1
+                            timer_fires += 1
+                            pending.append((cohort[cpos], arg))
+                            cpos += 2
+                        else:
+                            # A plain scheduled callback: it predates
+                            # every pending entry, so it goes first and
+                            # blocks further maturation until dispatched.
+                            pending.insert(0, (cohort[cpos], arg))
+                            cpos += 2
+                            front_matured = True
+                            break
+                    if cpos >= n:
+                        cohort.clear()
+                        free.append(cohort)
+                        cohort = None
+                if not pending:
+                    if not heap:
+                        break
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        break
+                    sim.now = when
+                    # Collect the whole cohort at this timestamp into a
+                    # recycled stride-2 slab, in sequence (FIFO) order —
+                    # exactly the engine's clock advance.
+                    cohort = free.pop() if free else []
+                    cpos = 0
+                    while heap and heap[0][0] == when:
+                        entry = popheap(heap)
+                        cohort.append(entry[2])
+                        cohort.append(entry[3])
+                    continue
+                if len(pending) == 1:
+                    index = 0
+                else:
+                    self.steps += 1
+                    index = strategy.choose(self.steps, pending)
+                    if index:
+                        index %= len(pending)
+                    if record:
+                        self.points.append((self.steps, len(pending), index))
+                        if index:
+                            self.decisions.append((self.steps, index))
+                callback, arg = pending.pop(index)
+                if index == 0:
+                    front_matured = False
+                dispatched += 1
+                cls = arg.__class__
+                if cls is int:
+                    if arg > 0:
+                        # Timer resume (hop 2).
+                        if callback._wait_gen == arg:
+                            callback._resume(None, None)
+                    else:
+                        # Zero-delay timer maturing (hop 1): requeue the
+                        # hop-2 record where a ready-slab append would
+                        # land it (the slab is empty right now, so the
+                        # pending tail is the slab tail).
+                        pending.append((callback, -arg))
+                        continue
+                elif cls is tuple:
+                    # Event waiter resume: (wait generation, event).
+                    if callback._wait_gen == arg[0]:
+                        event = arg[1]
+                        callback._resume(event.value, event._exc)
+                elif arg is None:
+                    callback()
+                else:
+                    callback(arg)
+                if orphans:
+                    _process, exc = orphans.popleft()
+                    raise exc
+        finally:
+            if front_matured and cohort is not None:
+                # pending[0] is a cohort callback that matured but was
+                # never dispatched: rewind it into the cohort (the slab
+                # still holds it at cpos - 2) so any later run — engine
+                # or controller — re-matures it in schedule order.
+                pending.pop(0)
+                cpos -= 2
+            if pending:
+                # Hand undispatched work back to the engine's slab (an
+                # exception or an ``until`` bound mid-timestamp), so a
+                # later run() -- controlled or not -- continues cleanly.
+                flat = []
+                for entry in pending:
+                    flat.append(entry[0])
+                    flat.append(entry[1])
+                flat.extend(rbuf)
+                rbuf[:] = flat
+            sim._rpos = 0
+            sim._cohort = cohort
+            sim._cpos = cpos
             sim.events_dispatched += dispatched
             sim.timer_fires += timer_fires
             type(sim).total_events_dispatched += dispatched

@@ -9,6 +9,7 @@ This is the substrate every simulated component (CPU, RNIC, fabric) runs on.
 """
 
 from repro.sim.engine import (
+    ENGINE,
     AllOf,
     AnyOf,
     Event,
@@ -27,6 +28,7 @@ SEC = 1_000_000_000  # nanoseconds per second
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ENGINE",
     "Event",
     "Interrupt",
     "LatencyRecorder",

@@ -24,6 +24,8 @@ def percentile(samples, fraction):
 class LatencyRecorder:
     """Collects latency samples (ns) and summarizes them."""
 
+    __slots__ = ("samples",)
+
     def __init__(self):
         self.samples = []
 
@@ -73,6 +75,8 @@ class LatencyRecorder:
 
 class RateMeter:
     """Counts events over a simulated-time window to compute throughput."""
+
+    __slots__ = ("sim", "count", "_window_start")
 
     def __init__(self, sim):
         self.sim = sim

@@ -1,26 +1,35 @@
-"""Order-equivalence and dispatch-counter tests for the optimized engine.
+"""Order-equivalence and dispatch-counter tests for the optimized engines.
 
-The production engine (``repro.sim.engine``) replaces the seed's single
-event heap with a FIFO ready-deque for same-timestamp work plus a heap
-that only ever holds strictly-future entries, and encodes timer resumes
-inline in the queue entries.  Everything downstream -- the bit-for-bit
-deterministic figure reproductions above all -- depends on one property:
-for any schedule, callbacks execute in *exactly* the order the seed
-engine would have executed them (same-timestamp FIFO by schedule
-sequence).
+Two production engines must execute callbacks in *exactly* the order the
+seed engine would have executed them (same-timestamp FIFO by schedule
+sequence) -- the bit-for-bit deterministic figure reproductions depend
+on it:
+
+* ``repro.sim.engine_classic`` -- FIFO ready-deque for same-timestamp
+  work plus a strictly-future heap, timer resumes encoded inline.
+* ``repro.sim.engine_flat`` -- the default flat-record core: stride-2
+  ``callback, arg`` slabs, timestamp-cohort buckets recycled through an
+  arena free-list, and batched same-timestamp dispatch.
 
 ``tests/_seed_engine_reference.py`` is a verbatim copy of the seed
 engine, kept as the ordering oracle.  The hypothesis test below generates
 random programs (processes that sleep, wait on events, trigger events,
 schedule bare callbacks, and spawn sub-processes), interprets each
-program on both engines, and asserts the execution traces are identical.
+program on every engine, and asserts the execution traces are identical.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro.sim.engine as new_engine
+import repro.sim.engine_classic as classic_engine
+import repro.sim.engine_flat as flat_engine
 import tests._seed_engine_reference as seed_engine
+
+# Every production core that must match the seed oracle, by name so a
+# failing parametrization identifies the engine directly.
+ENGINES = {"classic": classic_engine, "flat": flat_engine}
 
 NUM_EVENTS = 4
 
@@ -87,11 +96,21 @@ def _interpret(engine, scripts, roots):
     return trace
 
 
+@pytest.mark.parametrize("name", sorted(ENGINES))
 @settings(max_examples=200, deadline=None)
 @given(scripts=_scripts, roots=_roots)
-def test_execution_order_matches_seed_engine(scripts, roots):
-    assert _interpret(new_engine, scripts, roots) == _interpret(
+def test_execution_order_matches_seed_engine(name, scripts, roots):
+    assert _interpret(ENGINES[name], scripts, roots) == _interpret(
         seed_engine, scripts, roots
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(scripts=_scripts, roots=_roots)
+def test_flat_and_classic_traces_are_identical(scripts, roots):
+    """Belt and braces: the two production cores also match each other."""
+    assert _interpret(flat_engine, scripts, roots) == _interpret(
+        classic_engine, scripts, roots
     )
 
 
