@@ -37,6 +37,16 @@ Invariants
     Busy intervals of one serialized RNIC engine (capacity-1 resource)
     never overlap: occupancy is conserved, so modelled throughput
     ceilings cannot be double-counted.
+``breaker-state-sanity``
+    Circuit breakers only walk the legal state machine (closed -> open
+    -> half_open -> {closed, open}) and every reported transition
+    departs from the state last observed -- a breaker that skips states
+    or forks its own history is mis-wired.
+``admission-no-drop`` / ``admission-accounting``
+    An op the admission gate *admitted* is never subsequently shed
+    (admission is a promise), and at quiescence every arrival settled
+    exactly once: admitted + shed + rejected, with no waiter stranded
+    in the queue.
 
 Scenario-specific invariants are reported through :meth:`Checker.custom`.
 """
@@ -89,6 +99,12 @@ class Checker:
         self._wr_seen = {}
         # rnic busy: id(resource) -> [resource, label, last_end]
         self._busy = {}
+        # degrade breakers: id(breaker) -> [breaker, last_state]
+        self._breakers = {}
+        # admission lifecycle: (id(gate), op_id) -> last event
+        self._admission = {}
+        # admission gates seen, for quiescence accounting: id -> gate
+        self._gates = {}
 
     # ------------------------------------------------------------- reporting
 
@@ -232,12 +248,83 @@ class Checker:
             )
         record[2] = max(record[2], int(end))
 
+    # ------------------------------------------------------ degrade breakers
+
+    #: The circuit-breaker state machine (mirrors
+    #: ``repro.degrade.BREAKER_TRANSITIONS``; duplicated here so the
+    #: checker does not import the layer it is auditing).
+    _BREAKER_LEGAL = frozenset(
+        [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+            ("half_open", "open"),
+        ]
+    )
+
+    def breaker_transition(self, breaker, old, new, t):
+        """A :class:`repro.degrade.CircuitBreaker` changed state."""
+        self._note("breaker.transition")
+        record = self._breakers.get(id(breaker))
+        if record is None:
+            record = self._breakers[id(breaker)] = [breaker, "closed"]
+        if old != record[1]:
+            self.violate(
+                "breaker-state-sanity",
+                t,
+                f"breaker {breaker.name!r} reports transition from {old!r} "
+                f"but was last observed in {record[1]!r}",
+            )
+        if (old, new) not in self._BREAKER_LEGAL:
+            self.violate(
+                "breaker-state-sanity",
+                t,
+                f"breaker {breaker.name!r} made illegal transition "
+                f"{old!r} -> {new!r}",
+            )
+        record[1] = new
+
+    # ----------------------------------------------------- admission control
+
+    #: Legal lifecycle steps for one admission op: (previous, event).
+    #: ``None`` = first observation of the op_id.
+    _ADMISSION_LEGAL = frozenset(
+        [
+            (None, "admitted"),
+            (None, "queued"),
+            (None, "rejected"),
+            ("queued", "admitted"),
+            ("queued", "shed"),
+        ]
+    )
+
+    def admission_event(self, gate, op_id, event, t):
+        """One step in an :class:`repro.degrade.AdmissionGate` op's life."""
+        self._note(f"admission.{event}")
+        self._gates[id(gate)] = gate
+        key = (id(gate), op_id)
+        prev = self._admission.get(key)
+        if (prev, event) not in self._ADMISSION_LEGAL:
+            name = (
+                "admission-no-drop"
+                if prev == "admitted"
+                else "admission-accounting"
+            )
+            self.violate(
+                name,
+                t,
+                f"gate {gate.name!r} op {op_id}: illegal lifecycle step "
+                f"{prev!r} -> {event!r}",
+            )
+        self._admission[key] = event
+
     # --------------------------------------------------------------- finalize
 
     def finalize(self, modules=(), plane=None, now=0):
         """Run the quiescence checks; call after the simulation drained."""
         modules = list(modules)
         self._finalize_pools(now)
+        self._finalize_admission(now)
         if plane is not None:
             self._finalize_meta(plane, now)
         for module in modules:
@@ -268,6 +355,25 @@ class Checker:
                     now,
                     f"RCQP qpn={qp.qpn} to {gid} is pool-owned on "
                     f"{qp.node.gid} but not RNIC-registered",
+                )
+
+    def _finalize_admission(self, now):
+        for gate in self._gates.values():
+            if gate.pending:
+                self.violate(
+                    "admission-accounting",
+                    now,
+                    f"gate {gate.name!r} still holds {gate.pending} queued "
+                    "op(s) at quiescence (waiter neither admitted nor shed)",
+                )
+            settled = gate.stats_admitted + gate.stats_shed + gate.stats_rejected
+            if gate.stats_arrivals != settled:
+                self.violate(
+                    "admission-accounting",
+                    now,
+                    f"gate {gate.name!r}: {gate.stats_arrivals} arrival(s) but "
+                    f"{settled} settled (admitted={gate.stats_admitted} "
+                    f"shed={gate.stats_shed} rejected={gate.stats_rejected})",
                 )
 
     def _finalize_meta(self, plane, now):

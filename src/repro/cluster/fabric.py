@@ -13,15 +13,26 @@ class LinkFault:
     2**32 to keep the draw integer-only.
     """
 
-    __slots__ = ("drop_per_2_32", "dup_per_2_32", "extra_ns", "_lcg")
+    __slots__ = ("drop_per_2_32", "dup_per_2_32", "extra_ns", "latency_mult", "_lcg")
 
     SCALE = 1 << 32
 
-    def __init__(self, drop_prob=0.0, dup_prob=0.0, extra_ns=0, seed=1):
+    def __init__(self, drop_prob=0.0, dup_prob=0.0, extra_ns=0, seed=1,
+                 latency_mult=1.0):
         self.drop_per_2_32 = min(int(drop_prob * self.SCALE), self.SCALE)
         self.dup_per_2_32 = min(int(dup_prob * self.SCALE), self.SCALE)
         self.extra_ns = int(extra_ns)
+        #: Gray degradation: wire latency is scaled by this (a congested
+        #: or renegotiated-down link -- slow but lossless), on top of any
+        #: fixed ``extra_ns``.
+        self.latency_mult = float(latency_mult)
         self._lcg = (seed * 2654435761) % (1 << 64) or 1
+
+    def delay_ns(self, base_ns):
+        """The degraded traversal time for a healthy latency of ``base_ns``."""
+        if self.latency_mult != 1.0:
+            base_ns = int(base_ns * self.latency_mult)
+        return base_ns + self.extra_ns
 
     def _draw(self):
         self._lcg = (self._lcg * 6364136223846793005 + 1442695040888963407) % (1 << 64)

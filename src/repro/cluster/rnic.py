@@ -37,6 +37,16 @@ class Rnic:
         self._service_carry = 0.0
         #: Inbound ops served (benchmarks read this for unbiased rates).
         self.stats_inbound_ops = 0
+        #: Admission bound on the command queue (repro.degrade): when
+        #: this many ops already wait for the command processor, further
+        #: control-path work is rejected instead of queued.  None (the
+        #: default) keeps the queue unbounded.
+        self.command_queue_limit = None
+        #: Gray-failure window: until this timestamp both engines serve
+        #: ``_degrade_factor`` times slower (alive, just sick); 0 = never.
+        self._degraded_until = 0
+        self._degrade_factor = 1.0
+        self.stats_command_rejects = 0
 
     # -- registries -----------------------------------------------------------
 
@@ -67,8 +77,32 @@ class Rnic:
 
     # -- engines ---------------------------------------------------------------
 
+    def set_degraded(self, duration_ns, factor):
+        """Gray failure: both engines run ``factor`` times slower for the
+        next ``duration_ns`` (thermal throttling, firmware gone sick --
+        the RNIC still answers, so nothing binary ever trips).
+        Overlapping windows extend; the latest factor wins."""
+        self._degraded_until = max(
+            self._degraded_until, self.sim.now + int(duration_ns)
+        )
+        self._degrade_factor = float(factor)
+
     def command(self, service_ns):
         """Process: occupy the command processor for ``service_ns``."""
+        limit = self.command_queue_limit
+        if limit is not None and self.command_processor.queue_length >= limit:
+            # Bounded command queue: reject before joining a line that
+            # already guarantees a blown budget (EAGAIN, not a stall).
+            self.stats_command_rejects += 1
+            if _metrics.METRICS is not None:
+                _metrics.METRICS.counter("rnic.command_rejects").inc()
+            from repro.verbs.errors import OverloadRejectedError
+
+            raise OverloadRejectedError(
+                f"rnic@{self.node.gid}: command queue at its bound ({limit})"
+            )
+        if self._degraded_until and self.sim.now < self._degraded_until:
+            service_ns = int(service_ns * self._degrade_factor)
         # Resource.serve inlined: this runs per control-path op and the
         # extra generator frame of ``yield from serve()`` is measurable.
         resource = self.command_processor
@@ -127,6 +161,8 @@ class Rnic:
         Accepts fractional nanoseconds; the remainder is carried so that
         aggregate throughput matches the configured rate exactly.
         """
+        if self._degraded_until and self.sim.now < self._degraded_until:
+            service_ns = service_ns * self._degrade_factor
         total = service_ns + self._service_carry
         whole = int(total)
         self._service_carry = total - whole

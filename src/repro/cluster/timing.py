@@ -282,6 +282,58 @@ KRCORE_BACKOFF_MAX_NS = 320 * US
 #: timed-out READ (one retransmission window's worth of waiting).
 META_OUTAGE_PROBE_NS = (QP_RETRY_CNT + 1) * QP_TIMEOUT_NS
 
+#: Backoff jitter span as a fraction of the current backoff step.
+KRCORE_BACKOFF_JITTER_FRAC = 0.25
+
+
+def backoff_jitter_ns(backoff_ns, salt, attempt):
+    """Deterministic seed-derived jitter in ``[0, frac * backoff_ns)``.
+
+    Perfectly synchronized retries re-arrive as the same thundering herd
+    they backed off from; this desynchronizes them without RNG state, as
+    a pure hash of ``(salt, attempt)`` -- one (seed, workload) still
+    yields one schedule.  Only fault/overload paths ever back off, so
+    fault-free figure CSVs are untouched by construction.
+    """
+    span = int(backoff_ns * KRCORE_BACKOFF_JITTER_FRAC)
+    if span <= 0:
+        return 0
+    value = 0
+    for ch in f"{salt}#{attempt}".encode():
+        value = (value * 131 + ch) % 1_000_000_007
+    return value % span
+
+
+# ---------------------------------------------------------------------------
+# Overload protection defaults (repro.degrade; all knobs off unless a
+# DegradePolicy is installed on the module)
+# ---------------------------------------------------------------------------
+
+#: Consecutive meta-lookup failures before a per-shard breaker opens.
+DEGRADE_BREAKER_FAILURES = 3
+
+#: How long an open breaker fast-fails before letting one probe through.
+DEGRADE_BREAKER_RECOVERY_NS = 200 * US
+
+#: A lookup slower than this counts as a failure for the breaker even if
+#: it succeeded -- the "slow but alive" gray-failure signal.  Well above
+#: the worst queueing an admission-bounded client self-inflicts
+#: (~(burst + pending) lookups), so only genuinely lagging shards trip.
+DEGRADE_BREAKER_LATENCY_NS = 150 * US
+
+#: Token-bucket refill for qconnect admission: one meta client's lookup
+#: capacity (1 / (2 READs x 2.25 us) ~ 222 K/s).
+DEGRADE_ADMISSION_RATE_PER_SEC = 1e9 / (
+    META_KV_READS_PER_LOOKUP * META_KV_READ_RTT_NS
+)
+
+#: Tokens the admission bucket may accumulate (burst tolerance).
+DEGRADE_ADMISSION_BURST = 4
+
+#: Bound on the pending-qconnect queue behind the bucket; beyond this the
+#: oldest waiter is shed (LIFO service keeps fresh arrivals fast).
+DEGRADE_ADMISSION_MAX_PENDING = 8
+
 #: Kernel memcpy for dispatching two-sided payloads to user buffers
 #: (~4 GB/s effective on cold buffers; significant above 16 KB, Fig 9b).
 MEMCPY_NS_PER_BYTE = 0.25

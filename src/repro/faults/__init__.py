@@ -12,8 +12,14 @@ Three pieces:
   over KRCORE while a plan fires, asserting the robustness invariants
   (exactly-once completion, no byte corruption, metadata convergence,
   lease safety) and returning a digest-able report.
+* :mod:`repro.faults.gray` -- :func:`run_gray_chaos` drives a two-tenant
+  workload under *gray* faults (slow-but-alive links, lagging meta
+  shards, throttling RNICs), asserting that the overload-protection
+  layer (:mod:`repro.degrade`) keeps the well-behaved tenant's goodput
+  and p99 bounded while a storm tenant saturates the control plane.
 """
 
+from repro.faults.gray import GrayChaosReport, run_gray_chaos
 from repro.faults.harness import ChaosReport, run_chaos
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultPlan
@@ -23,5 +29,7 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "GrayChaosReport",
     "run_chaos",
+    "run_gray_chaos",
 ]

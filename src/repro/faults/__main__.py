@@ -3,10 +3,18 @@
     python -m repro.faults --seed 5
     python -m repro.faults --seed 5 --ops 50 --trace /tmp/chaos.json
     python -m repro.faults --seed 5 --metrics -
+    python -m repro.faults --gray --seed 5
 
 One run boots the chaos harness (YCSB over KRCORE under a random fault
 plan drawn from ``--seed``), prints the report summary and the applied
 faults, and exits non-zero if any robustness invariant failed.
+
+``--gray`` runs the *gray-failure* harness instead: a storm tenant
+saturates the control plane while every component stays slow-but-alive,
+and the invariants assert the overload-protection layer
+(``repro.degrade``) keeps the well-behaved tenant's goodput and p99
+bounded.  ``--unprotected`` drops the protection policy to demonstrate
+the collapse the layer prevents.
 
 ``--trace PATH`` installs the ``repro.obs`` tracer for the run and
 exports Chrome trace-event JSON (Perfetto-loadable): every injected
@@ -25,6 +33,16 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.faults",
         description="Run one seeded chaos experiment against the KRCORE stack.",
+    )
+    parser.add_argument(
+        "--gray", action="store_true",
+        help="run the gray-failure harness (two tenants, overload "
+             "protection) instead of the binary-fault YCSB harness",
+    )
+    parser.add_argument(
+        "--unprotected", action="store_true",
+        help="with --gray: drop the repro.degrade policy, demonstrating "
+             "the goodput collapse the protection layer prevents",
     )
     parser.add_argument(
         "--seed", type=int, default=1,
@@ -54,6 +72,20 @@ def main(argv=None):
         help="export the metrics snapshot as JSON ('-' for stdout)",
     )
     args = parser.parse_args(argv)
+
+    if args.gray:
+        from repro.faults.gray import run_gray_chaos
+
+        report = run_gray_chaos(args.seed, protected=not args.unprotected)
+        print(report.summary())
+        for at_ns, kind, summary in report.fault_log:
+            print(f"  t={at_ns}ns {kind}: {summary}")
+        for name in sorted(report.invariants):
+            print(f"  {name}: {'PASS' if report.invariants[name] else 'FAIL'}")
+        if report.checker_summary:
+            print(f"  {report.checker_summary}")
+        print(f"digest: {report.digest()}")
+        return 0 if report.all_invariants_hold else 1
 
     if args.trace is None and args.metrics is None:
         report = run_chaos(

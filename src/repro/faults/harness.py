@@ -146,6 +146,7 @@ class ChaosHarness:
         if op_gap_ns is None:
             op_gap_ns = max(horizon_ns // max(ops_per_client, 1), 0)
         self.op_gap_ns = op_gap_ns
+        self._robust_seq = 0  # distinct jitter salt per _robust call
         self.module_kwargs = dict(background_rc=False, mr_lease_ns=mr_lease_ns)
 
         # Layout: nodes 0..S-1 = meta shards, then servers (the fault
@@ -281,7 +282,14 @@ class ChaosHarness:
         Returns ("ok"|"failed:<reason>", attempts).
         """
         attempts = 0
-        backoff = 20 * timing.US
+        # Shared with the in-kernel retry loops (lookup_dct_robust): the
+        # harness and control plane must not drift apart on backoff shape.
+        backoff = timing.KRCORE_BACKOFF_BASE_NS
+        # Seed-derived salt: each _robust call jitters its own way, so
+        # clients knocked down by the same fault do not re-arrive as one
+        # synchronized herd -- while (seed, workload) still fixes the run.
+        self._robust_seq += 1
+        salt = f"{self.seed}:{self._robust_seq}"
         last = "unknown"
         while attempts < self.max_attempts:
             attempts += 1
@@ -304,8 +312,8 @@ class ChaosHarness:
                         yield from vqp.revalidate()
                     except KrcoreError:
                         pass
-            yield backoff
-            backoff = min(backoff * 2, 500 * timing.US)
+            yield backoff + timing.backoff_jitter_ns(backoff, salt, attempts)
+            backoff = min(backoff * 2, timing.KRCORE_BACKOFF_MAX_NS)
         self.report.ops_failed += 1
         return (f"failed:{last}", attempts)
 

@@ -98,6 +98,31 @@ class FaultInjector:
             summary = f"{params['duration_ns']}ns"
             if shard is not None:
                 summary += f" shard={shard}"
+        elif kind == plan_mod.GRAY_LINK:
+            src, dst = params["src_gid"], params["dst_gid"]
+            fault = LinkFault(
+                extra_ns=params["extra_ns"],
+                latency_mult=params["latency_mult"],
+                seed=self.plan.seed * 1_000_003 + index,
+            )
+            self.fabric.set_link_fault(src, dst, fault)
+            self.sim.schedule(
+                params["duration_ns"],
+                lambda s=src, d=dst: self.fabric.clear_link_fault(s, d),
+            )
+            summary = f"{src}->{dst} x{params['latency_mult']}"
+        elif kind == plan_mod.META_LAG:
+            shard = params.get("shard")
+            self.meta_server.set_lag(
+                params["duration_ns"], params["extra_ns"], shard=shard
+            )
+            summary = f"+{params['extra_ns']}ns for {params['duration_ns']}ns"
+            if shard is not None:
+                summary += f" shard={shard}"
+        elif kind == plan_mod.RNIC_DEGRADE:
+            node = self._node(params["gid"])
+            node.rnic.set_degraded(params["duration_ns"], params["factor"])
+            summary = f"{node.gid} x{params['factor']} {params['duration_ns']}ns"
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
         if _trace.TRACER is not None:

@@ -20,6 +20,11 @@ NODE_CRASH = "node_crash"  # node fails (fabric detach + alive=False)
 NODE_RESTART = "node_restart"  # failed node reboots (fresh RNIC/DRAM)
 META_OUTAGE = "meta_outage"  # meta service unreachable for a window
 
+#: Gray-failure kinds: everything stays alive, everything gets slow.
+GRAY_LINK = "gray_link"  # wire latency multiplied for a window
+META_LAG = "meta_lag"  # meta lookups serve with extra latency
+RNIC_DEGRADE = "rnic_degrade"  # RNIC engines run N times slower
+
 
 class FaultEvent:
     """One scheduled fault.  ``params`` is kind-specific (see builders)."""
@@ -127,6 +132,71 @@ class FaultPlan:
             FaultEvent(at_ns, META_OUTAGE, duration_ns=int(duration_ns), shard=shard)
         )
 
+    def gray_link(
+        self,
+        at_ns,
+        src_gid,
+        dst_gid,
+        duration_ns,
+        latency_mult=4.0,
+        extra_ns=0,
+        both_ways=False,
+    ):
+        """Gray-degrade the directed link src -> dst for ``duration_ns``:
+        no loss, but every traversal takes ``latency_mult`` times longer
+        (plus ``extra_ns``) -- a congested or renegotiated-down link."""
+        self._add(
+            FaultEvent(
+                at_ns,
+                GRAY_LINK,
+                src_gid=src_gid,
+                dst_gid=dst_gid,
+                duration_ns=int(duration_ns),
+                latency_mult=float(latency_mult),
+                extra_ns=int(extra_ns),
+            )
+        )
+        if both_ways:
+            self.gray_link(
+                at_ns,
+                dst_gid,
+                src_gid,
+                duration_ns,
+                latency_mult=latency_mult,
+                extra_ns=extra_ns,
+            )
+        return self
+
+    def lag_meta(self, at_ns, duration_ns, extra_ns, shard=None):
+        """Lag the meta service: lookups keep *succeeding* but each takes
+        ``extra_ns`` longer for ``duration_ns``.  The hard half of the
+        meta fault space -- outages trip the binary defenses (retry, RC
+        fallback); lag is only visible to latency-aware ones (circuit
+        breakers, deadline budgets).  ``shard`` routes as in
+        :meth:`meta_outage`."""
+        return self._add(
+            FaultEvent(
+                at_ns,
+                META_LAG,
+                duration_ns=int(duration_ns),
+                extra_ns=int(extra_ns),
+                shard=shard,
+            )
+        )
+
+    def degrade_rnic(self, at_ns, gid, duration_ns, factor=8.0):
+        """Run ``gid``'s RNIC engines ``factor`` times slower for
+        ``duration_ns`` (thermal throttling / sick firmware)."""
+        return self._add(
+            FaultEvent(
+                at_ns,
+                RNIC_DEGRADE,
+                gid=gid,
+                duration_ns=int(duration_ns),
+                factor=float(factor),
+            )
+        )
+
     # -------------------------------------------------------------- queries
 
     def sorted_events(self):
@@ -206,5 +276,48 @@ class FaultPlan:
             elif kind == META_OUTAGE:
                 plan.meta_outage(
                     at, duration_ns=rng.randrange(horizon_ns // 20, horizon_ns // 8)
+                )
+        return plan
+
+    @classmethod
+    def random_gray(cls, seed, victim_gids, horizon_ns, meta_shards=1, events=6):
+        """A random-but-reproducible *gray* plan: latency multipliers
+        only, never a binary outage.  Everything stays reachable for the
+        whole run -- the storm the overload-protection layer has to ride
+        out rather than fail over from."""
+        rng = random.Random(seed)
+        victims = list(victim_gids)
+        if not victims:
+            raise ValueError("no victim gids to build a plan from")
+        plan = cls(seed=seed)
+        for _ in range(events):
+            kind = rng.choice([GRAY_LINK, GRAY_LINK, META_LAG, RNIC_DEGRADE])
+            at = rng.randrange(horizon_ns // 10, (horizon_ns * 6) // 10)
+            duration = rng.randrange(horizon_ns // 10, horizon_ns // 3)
+            if kind == GRAY_LINK:
+                src = rng.choice(victims)
+                dst = rng.choice([g for g in victims if g != src] or victims)
+                plan.gray_link(
+                    at,
+                    src,
+                    dst,
+                    duration_ns=duration,
+                    latency_mult=rng.choice([2.0, 4.0, 8.0]),
+                    extra_ns=rng.choice([0, 2 * timing.US]),
+                    both_ways=rng.random() < 0.5,
+                )
+            elif kind == META_LAG:
+                plan.lag_meta(
+                    at,
+                    duration_ns=duration,
+                    extra_ns=rng.choice([20, 50, 100]) * timing.US,
+                    shard=rng.choice([None] + list(range(meta_shards))),
+                )
+            else:
+                plan.degrade_rnic(
+                    at,
+                    rng.choice(victims),
+                    duration_ns=duration,
+                    factor=rng.choice([4.0, 8.0, 16.0]),
                 )
         return plan

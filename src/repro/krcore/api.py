@@ -50,11 +50,17 @@ class KrcoreLib:
         yield from self._enter_kernel()
         return self.module.create_vqp(cpu_id=self.cpu_id)
 
-    def qconnect(self, vqp, gid, port=0):
+    def qconnect(self, vqp, gid, port=0, deadline_ns=None):
         """Process: connect the VQP to a remote host (Fig 7's qconnect).
 
         Cached: ~0.9 us (just the syscall).  Uncached: ~5.4 us (syscall +
         two one-sided READs to the meta server) -- Fig 8a.
+
+        ``deadline_ns`` (or the module's DegradePolicy default) starts a
+        time budget at the syscall boundary that every meta RPC hop below
+        decrements and checks; a spent budget surfaces as a typed
+        :class:`~repro.verbs.errors.DeadlineExceededError` instead of
+        piling more retries onto an overloaded plane.
         """
         tracer = _trace.TRACER
         if tracer is not None:
@@ -64,10 +70,13 @@ class KrcoreLib:
             )
         if _metrics.METRICS is not None:
             _metrics.METRICS.counter("krcore.qconnects").inc()
-        yield from self._enter_kernel()
-        yield from vqp.connect(gid, port)
-        if tracer is not None:
-            tracer.end(self.sim.now, f"krcore@{self.node.gid}", "qconnect")
+        deadline = self.module.op_deadline(deadline_ns)
+        try:
+            yield from self._enter_kernel()
+            yield from vqp.connect(gid, port, deadline)
+        finally:
+            if tracer is not None:
+                tracer.end(self.sim.now, f"krcore@{self.node.gid}", "qconnect")
         return vqp
 
     def qbind(self, vqp, port):
@@ -90,10 +99,11 @@ class KrcoreLib:
 
     # ----------------------------------------------------------- data path
 
-    def post_send(self, vqp, wr_list):
+    def post_send(self, vqp, wr_list, deadline_ns=None):
         """Process: ibv_post_send on a VQP (one syscall per batch)."""
+        deadline = self.module.op_deadline(deadline_ns)
         yield from self._enter_kernel()
-        yield from vqp.post_send(wr_list)
+        yield from vqp.post_send(wr_list, deadline)
 
     def post_send_multi(self, posts):
         """Process: post to several VQPs in one ioctl (``posts`` is a list
@@ -108,13 +118,14 @@ class KrcoreLib:
         yield from self._enter_kernel()
         return vqp.poll_cq()
 
-    def post_send_and_wait(self, vqp, wr_list):
+    def post_send_and_wait(self, vqp, wr_list, deadline_ns=None):
         """Process: post + wait in one blocking ioctl (the sync fast path).
 
         Returns the completion entry for the *last* signaled request.
         """
+        deadline = self.module.op_deadline(deadline_ns)
         yield from self._enter_kernel()
-        yield from vqp.post_send(wr_list)
+        yield from vqp.post_send(wr_list, deadline)
         wanted = sum(
             1 for wr in (wr_list if isinstance(wr_list, (list, tuple)) else [wr_list]) if wr.signaled
         )

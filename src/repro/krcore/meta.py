@@ -70,6 +70,10 @@ class MetaServer:
         #: Simulated timestamp until which the service is in an outage
         #: window (fault injection); 0 means never.
         self._outage_until = 0
+        #: Gray-failure window: until this timestamp every lookup pays
+        #: ``_lag_extra_ns`` extra (alive but slow); 0 means never.
+        self._lag_until = 0
+        self._lag_extra_ns = 0
         node.services[self.SERVICE] = self
 
     @property
@@ -89,6 +93,26 @@ class MetaServer:
         if shard not in (None, 0):
             raise ValueError(f"single meta deployment has no shard {shard}")
         self._outage_until = max(self._outage_until, self.sim.now + int(duration_ns))
+
+    def set_lag(self, duration_ns, extra_ns, shard=None):
+        """Gray failure: the service stays up but every lookup served in
+        the next ``duration_ns`` takes ``extra_ns`` longer.
+
+        Unlike :meth:`set_outage` nothing ever *fails* -- which is
+        exactly what makes lag the harder case: only latency-aware
+        defenses (circuit breakers, deadlines) notice.  Overlapping
+        windows extend; the latest ``extra_ns`` wins."""
+        if shard not in (None, 0):
+            raise ValueError(f"single meta deployment has no shard {shard}")
+        self._lag_until = max(self._lag_until, self.sim.now + int(duration_ns))
+        self._lag_extra_ns = int(extra_ns)
+
+    @property
+    def current_lag_ns(self):
+        """Extra per-lookup latency right now (0 outside lag windows)."""
+        if self._lag_until and self.sim.now < self._lag_until:
+            return self._lag_extra_ns
+        return 0
 
     @property
     def available(self):
@@ -225,6 +249,14 @@ class MetaPlane:
         else:
             self.shards[shard].set_outage(duration_ns)
 
+    def set_lag(self, duration_ns, extra_ns, shard=None):
+        """Lag one shard (``shard=index``) or the whole plane (None)."""
+        if shard is None:
+            for entry in self.shards:
+                entry.set_lag(duration_ns, extra_ns)
+        else:
+            self.shards[shard].set_lag(duration_ns, extra_ns)
+
     @property
     def available(self):
         """True iff every shard is serving (all owners reachable)."""
@@ -265,23 +297,23 @@ class MetaClient:
         )
         self._mutex = Resource(self.sim, capacity=1)
 
-    def lookup_dct(self, gid):
+    def lookup_dct(self, gid, deadline=None):
         """Process: fetch (dct_number, dct_key) for ``gid``, or None."""
-        value = yield from self._lookup(dct_key(gid))
+        value = yield from self._lookup(dct_key(gid), deadline)
         if value is None:
             return None
         number, key = _DCT_VALUE.unpack(value)
         return (number, key)
 
-    def lookup_mr(self, gid, rkey):
+    def lookup_mr(self, gid, rkey, deadline=None):
         """Process: fetch (addr, length) for a remote MR, or None."""
-        value = yield from self._lookup(mr_key(gid, rkey))
+        value = yield from self._lookup(mr_key(gid, rkey), deadline)
         if value is None:
             return None
         addr, length = _MR_VALUE.unpack(value)
         return (addr, length)
 
-    def _lookup(self, key):
+    def _lookup(self, key, deadline=None):
         if _trace.TRACER is not None:
             _trace.TRACER.begin(
                 self.sim.now, f"meta@{self.node.gid}", "meta.rpc",
@@ -299,6 +331,14 @@ class MetaClient:
         try:
             grant = yield self._mutex.acquire()
             try:
+                if deadline is not None:
+                    # Checked *after* the mutex wait: a request whose
+                    # budget died queueing must not burn two READs of
+                    # shared lookup capacity on an answer nobody wants.
+                    deadline.check(
+                        self.sim.now,
+                        f"queued for the meta client to {self.meta_node.gid}",
+                    )
                 if not self.meta_server.available:
                     # The service is in an outage window (or its host is
                     # down): the READ can only time out, so charge the full
@@ -308,6 +348,10 @@ class MetaClient:
                         f"meta server on {self.meta_node.gid} is unavailable",
                         code=WcStatus.RETRY_EXC_ERR,
                     )
+                lag = self.meta_server.current_lag_ns
+                if lag:
+                    # Gray failure: the shard answers, just slowly.
+                    yield lag
                 try:
                     value = yield from self.kv.lookup(key)
                 except VerbsError as err:

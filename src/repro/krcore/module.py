@@ -10,13 +10,14 @@ from collections import deque
 
 from repro.check import hooks as _check
 from repro.cluster import timing
+from repro.degrade import CircuitBreaker, Deadline
 from repro.krcore.meta import MetaClient, MetaPlane, MetaServer, dct_key, mr_key
 from repro.krcore.mrstore import MrStore, ValidMr
 from repro.krcore.pool import HybridQpPool
 from repro.krcore.vqp import KrcoreError, Vqp
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
-from repro.verbs.errors import MetaUnavailableError
+from repro.verbs.errors import DeadlineExceededError, MetaUnavailableError
 from repro.verbs import (
     CompletionQueue,
     ConnectionManager,
@@ -97,9 +98,17 @@ class KrcoreModule:
         rc_traffic_threshold=64,
         mr_lease_ns=timing.MR_LEASE_NS,
         charge_checks=True,
+        degrade=None,
     ):
         self.node = node
         self.sim = node.sim
+        #: Overload-protection policy (repro.degrade.DegradePolicy) or
+        #: None -- the default, in which case every guard below is a
+        #: single falsy check and the control path is unchanged.
+        self.degrade = degrade
+        self._meta_breakers = {}  # shard index -> CircuitBreaker
+        if degrade is not None and degrade.rnic_command_queue_limit is not None:
+            node.rnic.command_queue_limit = degrade.rnic_command_queue_limit
         #: The meta plane this module talks to.  A bare MetaServer is
         #: wrapped into a one-shard plane, so ``meta_server`` accepts both
         #: and the single-deployment control path is unchanged.
@@ -462,60 +471,149 @@ class KrcoreModule:
             _metrics.METRICS.counter("krcore.dc_cache_hits").inc()
         return meta
 
-    def plane_lookup_dct(self, cpu_id, gid):
+    def op_deadline(self, deadline_ns=None):
+        """A :class:`Deadline` for one control-path op (explicit budget,
+        else the policy's default), or None when budgets are off."""
+        if deadline_ns is not None:
+            return Deadline.after(self.sim, deadline_ns)
+        if self.degrade is not None and self.degrade.deadline_ns is not None:
+            return Deadline.after(self.sim, self.degrade.deadline_ns)
+        return None
+
+    def meta_breaker(self, shard):
+        """The lazily-built circuit breaker guarding one meta shard."""
+        breaker = self._meta_breakers.get(shard)
+        if breaker is None:
+            policy = self.degrade
+            breaker = CircuitBreaker(
+                self.sim,
+                name=f"meta-shard{shard}@{self.node.gid}",
+                failure_threshold=policy.breaker_failure_threshold,
+                recovery_ns=policy.breaker_recovery_ns,
+                latency_threshold_ns=policy.breaker_latency_ns,
+            )
+            self._meta_breakers[shard] = breaker
+        return breaker
+
+    def admit_qconnect(self, cpu_id, deadline=None):
+        """Process: pass the per-CPU qconnect admission gate.  A no-op
+        generator when admission control is off (the default)."""
+        policy = self.degrade
+        if policy is None or not policy.admission_enabled:
+            return
+        gate = self.pool(cpu_id).admission_gate(self.sim, policy)
+        yield from gate.admit(deadline)
+
+    def plane_lookup_dct(self, cpu_id, gid, deadline=None):
         """Process: one DCT lookup via the plane, failing over across the
         key's owner shards (primary first).  Raises
         :class:`MetaUnavailableError` only when *every* owner is dark."""
         return (
             yield from self._plane_lookup(
-                cpu_id, dct_key(gid), lambda client: client.lookup_dct(gid)
+                cpu_id,
+                dct_key(gid),
+                lambda client: client.lookup_dct(gid, deadline=deadline),
+                deadline,
             )
         )
 
-    def plane_lookup_mr(self, cpu_id, gid, rkey):
+    def plane_lookup_mr(self, cpu_id, gid, rkey, deadline=None):
         """Process: one MR-record lookup via the plane, with failover."""
         return (
             yield from self._plane_lookup(
-                cpu_id, mr_key(gid, rkey), lambda client: client.lookup_mr(gid, rkey)
+                cpu_id,
+                mr_key(gid, rkey),
+                lambda client: client.lookup_mr(gid, rkey, deadline=deadline),
+                deadline,
             )
         )
 
-    def _plane_lookup(self, cpu_id, key, fetch):
+    def _plane_lookup(self, cpu_id, key, fetch, deadline=None):
         owners = self.meta_plane.owner_indices(key)
+        breakers = self.degrade is not None and self.degrade.breaker_enabled
         last_error = None
         for position, shard in enumerate(owners):
-            if position and _trace.TRACER is not None:
-                _trace.TRACER.instant(
-                    self.sim.now, f"krcore@{self.node.gid}", "meta.failover",
-                    shard=shard,
+            if position:
+                # The budget shrinks across shard probes: whatever the
+                # primary burned (an outage probe, a lagging reply) is
+                # time the replica probe no longer has.
+                if deadline is not None and deadline.expired(self.sim.now):
+                    raise DeadlineExceededError(
+                        f"budget spent after {position} owner probe(s) of "
+                        f"{key!r}", code=WcStatus.RETRY_EXC_ERR,
+                    )
+                if _trace.TRACER is not None:
+                    _trace.TRACER.instant(
+                        self.sim.now, f"krcore@{self.node.gid}", "meta.failover",
+                        shard=shard,
+                    )
+            breaker = self.meta_breaker(shard) if breakers else None
+            if breaker is not None and not breaker.allow():
+                # Open breaker: fast-fail this shard without burning a
+                # META_OUTAGE_PROBE on a dependency known to be sick.
+                last_error = MetaUnavailableError(
+                    f"meta shard {shard} breaker is {breaker.state}",
+                    code=WcStatus.RETRY_EXC_ERR,
                 )
+                if position + 1 < len(owners):
+                    self.stats_meta_failovers += 1
+                    if _metrics.METRICS is not None:
+                        _metrics.METRICS.counter("krcore.meta_failovers").inc()
+                continue
+            started = self.sim.now
             try:
-                return (yield from fetch(self.meta_client(cpu_id, shard)))
+                value = yield from fetch(self.meta_client(cpu_id, shard))
+            except DeadlineExceededError:
+                # The budget died inside this shard's fetch (queued at the
+                # client mutex, or a lagging reply).  No failover -- the
+                # caller is out of time either way -- but the breaker
+                # learns the shard is slow, so the *next* caller skips it.
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
             except MetaUnavailableError as err:
+                if breaker is not None:
+                    breaker.record_failure()
                 last_error = err
                 if position + 1 < len(owners):
                     self.stats_meta_failovers += 1
                     if _metrics.METRICS is not None:
                         _metrics.METRICS.counter("krcore.meta_failovers").inc()
+            else:
+                if breaker is not None:
+                    breaker.record_success(self.sim.now - started)
+                return value
         raise last_error
 
-    def lookup_dct_robust(self, cpu_id, gid):
+    def lookup_dct_robust(self, cpu_id, gid, deadline=None):
         """Process: DCT metadata lookup with bounded retry + exponential
-        backoff, each attempt failing over across the key's owner shards.
-        Raises :class:`MetaUnavailableError` once the budget is spent;
-        returns None for a *reachable* owner with no record (the node
-        never booted or was retracted)."""
+        backoff (seed-derived jitter desynchronizes concurrent herds),
+        each attempt failing over across the key's owner shards.  Raises
+        :class:`MetaUnavailableError` once the budget is spent, or
+        :class:`DeadlineExceededError` as soon as the caller's remaining
+        time cannot cover the next backoff sleep; returns None for a
+        *reachable* owner with no record (the node never booted or was
+        retracted)."""
         backoff = timing.KRCORE_BACKOFF_BASE_NS
         attempt = 0
         while True:
             self.stats_meta_lookups += 1
             try:
-                return (yield from self.plane_lookup_dct(cpu_id, gid))
-            except MetaUnavailableError:
+                return (yield from self.plane_lookup_dct(cpu_id, gid, deadline))
+            except MetaUnavailableError as err:
                 attempt += 1
                 if attempt > timing.KRCORE_META_RETRIES:
                     raise
-                yield backoff
+                pause = backoff + timing.backoff_jitter_ns(
+                    backoff, f"{self.node.gid}->{gid}", attempt
+                )
+                if deadline is not None and deadline.remaining_ns(self.sim.now) <= pause:
+                    raise DeadlineExceededError(
+                        f"deadline cannot cover retry {attempt} backoff "
+                        f"({pause} ns) for DCT lookup of {gid}",
+                        code=WcStatus.RETRY_EXC_ERR,
+                    ) from err
+                yield pause
                 backoff = min(backoff * 2, timing.KRCORE_BACKOFF_MAX_NS)
 
     def revalidate_dct(self, cpu_id, gid, stale_meta=None):

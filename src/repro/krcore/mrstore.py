@@ -19,7 +19,7 @@ from repro.check import hooks as _check
 from repro.cluster import timing
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
-from repro.verbs.errors import MetaUnavailableError
+from repro.verbs.errors import DeadlineExceededError, MetaUnavailableError
 
 
 class ValidMr:
@@ -97,7 +97,7 @@ class MrStore:
         base, span = entry[1]
         return base <= addr and addr + length <= base + span
 
-    def check(self, gid, rkey, addr, length, cpu_id=0):
+    def check(self, gid, rkey, addr, length, cpu_id=0, deadline=None):
         """Process: validate a remote access, querying ValidMR on a miss.
 
         Returns True iff the access falls inside a known-valid remote MR.
@@ -122,7 +122,7 @@ class MrStore:
                 )
             accepted_stale = False
             try:
-                record = yield from self._lookup_robust(gid, rkey, cpu_id)
+                record = yield from self._lookup_robust(gid, rkey, cpu_id, deadline)
                 epoch = self._epoch()
             except MetaUnavailableError:
                 stale = self._cache.get((gid, rkey))
@@ -159,21 +159,33 @@ class MrStore:
         base, span = record
         return base <= addr and addr + length <= base + span
 
-    def _lookup_robust(self, gid, rkey, cpu_id):
-        """Process: MR lookup with bounded retry + exponential backoff,
-        each attempt failing over across the record's owner shards."""
+    def _lookup_robust(self, gid, rkey, cpu_id, deadline=None):
+        """Process: MR lookup with bounded retry + exponential backoff
+        (jittered, like :meth:`KrcoreModule.lookup_dct_robust`), each
+        attempt failing over across the record's owner shards.  A spent
+        deadline raises instead of sleeping on borrowed time."""
         backoff = timing.KRCORE_BACKOFF_BASE_NS
         attempt = 0
         while True:
             try:
                 return (
-                    yield from self.module.plane_lookup_mr(cpu_id, gid, rkey)
+                    yield from self.module.plane_lookup_mr(
+                        cpu_id, gid, rkey, deadline
+                    )
                 )
-            except MetaUnavailableError:
+            except MetaUnavailableError as err:
                 attempt += 1
                 if attempt > timing.KRCORE_META_RETRIES:
                     raise
-                yield backoff
+                pause = backoff + timing.backoff_jitter_ns(
+                    backoff, f"{self.module.node.gid}:{gid}:{rkey}", attempt
+                )
+                if deadline is not None and deadline.remaining_ns(self.sim.now) <= pause:
+                    raise DeadlineExceededError(
+                        f"deadline cannot cover retry {attempt} backoff "
+                        f"({pause} ns) for MR ({gid}, {rkey})",
+                    ) from err
+                yield pause
                 backoff = min(backoff * 2, timing.KRCORE_BACKOFF_MAX_NS)
 
     def invalidate(self, gid, rkey=None):

@@ -22,6 +22,27 @@ class HybridQpPool:
         self._dc_next = 0
         self.rc = {}  # gid -> QueuePair
         self._rc_last_use = {}  # gid -> sim time of last selection
+        #: Admission gate guarding this CPU's share of the meta-lookup
+        #: capacity (repro.degrade); None until a DegradePolicy with
+        #: admission enabled asks for it, so the default pool pays
+        #: nothing.
+        self.admission = None
+
+    def admission_gate(self, sim, policy):
+        """The lazily-built qconnect admission gate for this CPU."""
+        gate = self.admission
+        if gate is None:
+            from repro.degrade import AdmissionGate
+
+            gate = AdmissionGate(
+                sim,
+                rate_per_sec=policy.admission_rate_per_sec,
+                burst=policy.admission_burst,
+                max_pending=policy.admission_max_pending,
+                name=f"qconnect-cpu{self.cpu_id}",
+            )
+            self.admission = gate
+        return gate
 
     # -- selection (Algorithm 1, lines 8-11) -----------------------------------
 

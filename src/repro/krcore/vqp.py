@@ -69,7 +69,7 @@ class Vqp:
 
     # ------------------------------------------------------------ Algorithm 1
 
-    def connect(self, gid, port=0):
+    def connect(self, gid, port=0, deadline=None):
         """Process: vqp_connect -- bind a pre-initialized physical QP.
 
         RC from the hybrid pool when available, else a DCQP plus the
@@ -78,6 +78,11 @@ class Vqp:
         stays unreachable, degrade gracefully: fall back to a full RC
         handshake with the target's connection daemon -- the paper's "old
         control path" costs milliseconds but needs no metadata.
+
+        A DCCache miss is the expensive path -- it consumes shared
+        meta-lookup capacity -- so that is where the module's admission
+        gate sits and where ``deadline`` (the caller's remaining budget)
+        is threaded through every meta RPC hop.
         """
         if self.remote_gid is not None and self.remote_gid != gid:
             raise KrcoreError(f"VQP {self.id} already connected to {self.remote_gid}")
@@ -95,7 +100,16 @@ class Vqp:
                         )
                     if _metrics.METRICS is not None:
                         _metrics.METRICS.counter("krcore.dc_cache_misses").inc()
-                    meta = yield from self._fetch_dct_meta(gid, pool)
+                    yield from self.module.admit_qconnect(self.cpu_id, deadline)
+                    meta = yield from self._fetch_dct_meta(gid, pool, deadline)
+                    if deadline is not None:
+                        # A gray-slow fetch can *succeed* past the budget
+                        # (the lag sits between the client's checkpoints);
+                        # fail here rather than report a "success" the
+                        # caller had already written off.
+                        deadline.check(
+                            self.sim.now, f"fetched DCT metadata for {gid}"
+                        )
                 else:
                     if _trace.TRACER is not None:
                         _trace.TRACER.instant(
@@ -111,13 +125,16 @@ class Vqp:
         self.module.register_connected_vqp(self)
         return self
 
-    def _fetch_dct_meta(self, gid, pool):
+    def _fetch_dct_meta(self, gid, pool, deadline=None):
         """Process: robust DCT metadata fetch for :meth:`connect`.
 
         On success the metadata is cached and returned.  If the meta
         service is unreachable after the retry budget, fall back to a full
         RC handshake: ``self.qp`` is set to the fresh RCQP and ``None`` is
-        returned (no metadata needed on an RC-backed VQP).
+        returned (no metadata needed on an RC-backed VQP).  A
+        :class:`~repro.verbs.errors.DeadlineExceededError` propagates
+        untouched -- a spent budget must *not* trigger the
+        milliseconds-long RC fallback.
         """
         module = self.module
         track = f"krcore@{self.node.gid}"
@@ -129,9 +146,16 @@ class Vqp:
                     self.sim.now, track, "meta.lookup_dct", gid=gid,
                     shard=module.meta_plane.primary_index(dct_key(gid)),
                 )
-            meta = yield from module.lookup_dct_robust(self.cpu_id, gid)
-            if _trace.TRACER is not None:
-                _trace.TRACER.end(self.sim.now, track, "meta.lookup_dct")
+            try:
+                meta = yield from module.lookup_dct_robust(
+                    self.cpu_id, gid, deadline
+                )
+            finally:
+                # Close the span on *every* exit (a MetaUnavailableError
+                # previously left it open, corrupting later span nesting
+                # on this track).
+                if _trace.TRACER is not None:
+                    _trace.TRACER.end(self.sim.now, track, "meta.lookup_dct")
         except MetaUnavailableError as meta_err:
             module.stats_rc_fallbacks += 1
             if _trace.TRACER is not None:
@@ -175,12 +199,14 @@ class Vqp:
 
     # ------------------------------------------------ Algorithm 2: post_send
 
-    def post_send(self, wr_list):
+    def post_send(self, wr_list, deadline=None):
         """Process: post_send_virtualized.
 
         Validates every request, encodes dispatch info in wr_id, keeps the
         shared physical queue from overflowing, and posts.  A bad request
-        raises :class:`KrcoreError` *before anything is posted*.
+        raises :class:`KrcoreError` *before anything is posted*; a spent
+        ``deadline`` likewise surfaces before any bookkeeping exists to
+        roll back.
         """
         if self.qp is None:
             raise KrcoreError(f"VQP {self.id} is not connected")
@@ -192,10 +218,10 @@ class Vqp:
         depth = self.qp.sq_depth
         index = 0
         while index < len(wrs):
-            yield from self._post_chunk(wrs[index : index + depth])
+            yield from self._post_chunk(wrs[index : index + depth], deadline)
             index += depth
 
-    def _post_chunk(self, wrs):
+    def _post_chunk(self, wrs, deadline=None):
         qp = self.qp
         module = self.module
         # --- request integrity (lines 5-7), before anything is posted ---
@@ -216,13 +242,19 @@ class Vqp:
                 ok = module.mr_store.check_cached(self.remote_gid, wr.rkey, wr.raddr, span)
                 if ok is None:  # cache miss: blocking meta-server path
                     ok = yield from module.mr_store.check(
-                        self.remote_gid, wr.rkey, wr.raddr, span, cpu_id=self.cpu_id
+                        self.remote_gid, wr.rkey, wr.raddr, span,
+                        cpu_id=self.cpu_id, deadline=deadline,
                     )
                 if not ok:
                     raise KrcoreError(
                         f"invalid remote MR (rkey={wr.rkey})",
                         code=WcStatus.REM_ACCESS_ERR,
                     )
+        if deadline is not None:
+            # The blocking validation above is where one-sided posts burn
+            # time; check here, before any CQ-entry/wr_id bookkeeping
+            # exists that an abort would have to roll back.
+            deadline.check(self.sim.now, f"validated {len(wrs)} WR(s)")
         # --- build the physical requests (lines 4-17) ---
         phys = []
         unsignaled_cnt = 0

@@ -47,3 +47,19 @@ class MetaUnavailableError(KrcoreError):
     """The meta server could not be reached (outage window, dead meta node,
     or a wrecked pre-connected QP).  Callers retry with backoff and fall
     back to the full RC handshake when the budget is exhausted."""
+
+
+class DeadlineExceededError(KrcoreError):
+    """The operation's deadline budget ran out before it completed.
+
+    Deliberately *not* a :class:`MetaUnavailableError`: the meta plane may
+    be perfectly healthy -- the caller simply no longer has time for the
+    answer.  Retry loops and RC-handshake fallbacks must not fire on it;
+    the typed error surfaces straight to the caller (repro.degrade)."""
+
+
+class OverloadRejectedError(KrcoreError):
+    """Admission control shed this request before it consumed capacity
+    (token bucket empty and the bounded pending queue full, or an RNIC
+    command queue over its limit).  The EAGAIN of this stack: callers
+    back off -- with jitter -- and try again later (repro.degrade)."""

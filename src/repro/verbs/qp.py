@@ -334,7 +334,7 @@ class QueuePair:
                                 raise _UdDrop()
                             raise _Unreachable()
                         duplicated = fault.duplicates()
-                        wire_out += fault.extra_ns
+                        wire_out = fault.delay_ns(wire_out)
                 if _metrics.METRICS is not None:
                     _metrics.METRICS.counter(
                         f"fabric.link[{node.gid}->{remote_gid}]"
@@ -430,20 +430,21 @@ class QueuePair:
                     if duplicated:
                         yield from self._serve_duplicate(remote_node, wr)
                 # -- response --
-                response_extra = 0
+                rfault = None
                 if fabric.link_faults:
                     rfault = fabric.link_faults.get((remote_gid, node.gid))
-                    if rfault is not None:
-                        if rfault.drops():
-                            if qp_type is QpType.UD:
-                                raise _UdDrop()
-                            raise _Unreachable()
-                        response_extra = rfault.extra_ns
+                    if rfault is not None and rfault.drops():
+                        if qp_type is QpType.UD:
+                            raise _UdDrop()
+                        raise _Unreachable()
                 if _metrics.METRICS is not None:
                     _metrics.METRICS.counter(
                         f"fabric.link[{remote_gid}->{node.gid}]"
                     ).inc()
-                yield fabric.one_way_ns(response_bytes) + response_extra
+                wire_back = fabric.one_way_ns(response_bytes)
+                if rfault is not None:
+                    wire_back = rfault.delay_ns(wire_back)
+                yield wire_back
                 yield timing.NIC_RX_COMPLETION_NS
                 byte_len = length
                 break
