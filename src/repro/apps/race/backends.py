@@ -107,14 +107,20 @@ class VerbsBackend:
         yield from self._sync(gid, wr)
 
     def read_batch(self, requests):
-        """Process: doorbell-batch READs (one post per target QP), then
-        wait for every completion."""
-        expected = 0
+        """Process: doorbell-batch READs -- one WR chain (and one doorbell)
+        per target QP via ``post_send_batch`` -- then wait for every
+        completion."""
+        chains = {}  # QueuePair -> WR chain, in first-use order
         for gid, laddr, lkey, raddr, rkey, length in requests:
             qp = self._qp(gid)
-            qp.post_send(WorkRequest.read(laddr, length, lkey, raddr, rkey))
-            expected += 1
-        yield timing.POST_SEND_CPU_NS * max(1, len(requests) // 8)
+            chains.setdefault(qp, []).append(
+                WorkRequest.read(laddr, length, lkey, raddr, rkey)
+            )
+        expected = 0
+        for qp, wrs in chains.items():
+            yield timing.doorbell_batch_cpu_ns(len(wrs))
+            qp.post_send_batch(wrs)
+            expected += len(wrs)
         seen = 0
         while seen < expected:
             completions = yield from self.cq.wait_poll(expected)
@@ -220,7 +226,7 @@ class KrcoreBackend:
                 WorkRequest.read(laddr, length, lkey, raddr, rkey)
             )
         for gid, wrs in by_gid.items():
-            yield from self.lib.post_send(self._vqps[gid], wrs)
+            yield from self.lib.post_send_batch(self._vqps[gid], wrs)
         for gid, wrs in by_gid.items():
             vqp = self._vqps[gid]
             for _ in range(len(wrs)):

@@ -33,6 +33,13 @@ Invariants
     No signaled work-request completion is dispatched twice through one
     module's ``poll_inner`` (Algorithm 2's wr_id token table), and no
     token is left undispatched at quiescence.
+``batch-exactly-once``
+    Every WR of a doorbell-batched chain (``QueuePair.post_send_batch``)
+    completes exactly once: a mid-chain fault (RETRY_EXC) must neither
+    drop its successors (they flush with FLUSH_ERR) nor complete any
+    chain member twice.  Checked per physical WR at the ``_complete``
+    hook, with a quiescence sweep for chain members that never
+    completed.
 ``rnic-busy-conservation``
     Busy intervals of one serialized RNIC engine (capacity-1 resource)
     never overlap: occupancy is conserved, so modelled throughput
@@ -97,6 +104,9 @@ class Checker:
         self._meta_last = {}
         # wr dispatch: id(module) -> [module, set(wr_id)]
         self._wr_seen = {}
+        # doorbell chains: id(wr) -> [wr, qp, chain_no, index, completions]
+        self._batch_wrs = {}
+        self._batch_chains = 0
         # rnic busy: id(resource) -> [resource, label, last_end]
         self._busy = {}
         # degrade breakers: id(breaker) -> [breaker, last_state]
@@ -232,6 +242,33 @@ class Checker:
         else:
             seen.add(wr_id)
 
+    def batch_posted(self, qp, wrs):
+        """A doorbell-batched chain was posted via ``post_send_batch``."""
+        self._note("batch.posted")
+        self._batch_chains += 1
+        chain_no = self._batch_chains
+        for index, wr in enumerate(wrs):
+            self._batch_wrs[id(wr)] = [wr, qp, chain_no, index, 0]
+
+    def wr_completed(self, qp, wr, status):
+        """``QueuePair._complete`` resolved ``wr`` (every WR, batched or
+        not; unsignaled successes count -- they resolve without a CQE).
+        Only chain members registered by :meth:`batch_posted` are
+        tracked, so unbatched traffic leaves no trace in the digest."""
+        record = self._batch_wrs.get(id(wr))
+        if record is None:
+            return
+        self._note("batch.complete")
+        record[4] += 1
+        if record[4] > 1:
+            self.violate(
+                "batch-exactly-once",
+                qp.sim.now,
+                f"qpn={qp.qpn} on {qp.node.gid}: chain {record[2]} WR "
+                f"#{record[3]} (wr_id={wr.wr_id}) completed {record[4]} "
+                f"times (last status {status.name})",
+            )
+
     def rnic_busy(self, rnic, label, resource, start, end):
         """A serialized RNIC engine was occupied over [start, end]."""
         self._note("rnic.busy")
@@ -334,6 +371,15 @@ class Checker:
                     now,
                     f"{module.node.gid} left {len(module._wrid_tokens)} wr_id "
                     "token(s) undispatched at quiescence (lost completion)",
+                )
+        for wr, qp, chain_no, index, completions in self._batch_wrs.values():
+            if completions == 0:
+                self.violate(
+                    "batch-exactly-once",
+                    now,
+                    f"qpn={qp.qpn} on {qp.node.gid}: chain {chain_no} WR "
+                    f"#{index} (wr_id={wr.wr_id}, {wr.opcode.value}) never "
+                    "completed (dropped successor of a faulted chain?)",
                 )
         return self.violations
 

@@ -26,6 +26,13 @@ Scenario catalogue
     A shrunk chaos run (crash + restart + meta outage over a sharded
     plane) with the full invariant registry attached and the chaos
     harness's own invariants folded in.
+``batch_fault``
+    Doorbell-batched WR chains (``QueuePair.post_send_batch``) posted
+    over a lossy link with a tiny retry budget: some chain hits a
+    mid-chain RETRY_EXC and wrecks the QP, and the ``batch-exactly-once``
+    invariant must still hold -- every chain member completes exactly
+    once (successors flush, none dropped, none duplicated).  The QP is
+    reconfigured between chains so later chains run on a clean queue.
 ``kvs_lin``
     Concurrent 8-byte one-sided READ/WRITEs against per-key server
     slots with every op recorded; the Wing & Gong checker must find the
@@ -248,6 +255,75 @@ def chaos_small(controller, checker, seed=11, ops_per_client=12):
         "ops_failed": report.ops_failed,
         "faults": len(report.fault_log),
     }
+
+
+# ------------------------------------------------------- batched chains
+
+
+@scenario("batch_fault", chains=3, chain=5, drop_pct=35, seed=9)
+def batch_fault(controller, checker, chains=3, chain=5, drop_pct=35, seed=9):
+    """Batched WR chains over a lossy link (batch-exactly-once)."""
+    from repro.cluster import Cluster
+    from repro.cluster.fabric import LinkFault
+    from repro.sim import Simulator
+    from repro.verbs import (
+        CompletionQueue, DriverContext, QpState, QpType, WcStatus, WorkRequest,
+    )
+
+    sim = Simulator()
+    controller.attach(sim)
+    cluster = Cluster(sim, num_nodes=2)
+    node_a, node_b = cluster.node(0), cluster.node(1)
+    cq = CompletionQueue(sim)
+    ctx_a = DriverContext(node_a, kernel=True)
+    ctx_b = DriverContext(node_b, kernel=True)
+    # A tiny retry budget so a couple of consecutive drops escalate to
+    # RETRY_EXC quickly instead of riding out the full timeout ladder.
+    qp_a = ctx_a.create_qp_fast(QpType.RC, cq, recv_cq=cq, sq_depth=64)
+    qp_a.retry_cnt = 1
+    qp_a.timeout_ns = 2 * US
+    qp_b = ctx_b.create_qp_fast(QpType.RC, cq, recv_cq=cq, sq_depth=64)
+    qp_a.to_init(); qp_a.to_rtr((node_b.gid, qp_b.qpn)); qp_a.to_rts()
+    qp_b.to_init(); qp_b.to_rtr((node_a.gid, qp_a.qpn)); qp_b.to_rts()
+    nbytes = 32
+    src = node_a.memory.alloc(nbytes)
+    dst = node_b.memory.alloc(nbytes)
+    lregion = node_a.memory.register(src, nbytes)
+    rregion = node_b.memory.register(dst, nbytes)
+    cluster.fabric.set_link_fault(
+        node_a.gid, node_b.gid, LinkFault(drop_prob=drop_pct / 100, seed=seed)
+    )
+    stats = {"success": 0, "retry_exc": 0, "flushed": 0, "repairs": 0}
+
+    def client():
+        for round_no in range(chains):
+            wrs = [
+                WorkRequest.write(
+                    src, nbytes, lregion.lkey, dst, rregion.rkey,
+                    wr_id=round_no * 100 + index,
+                )
+                for index in range(chain)
+            ]
+            qp_a.post_send_batch(wrs)
+            drained = 0
+            while drained < chain:
+                completions = yield from cq.wait_poll(chain - drained)
+                for wc in completions:
+                    drained += wc.covers
+                    if wc.status is WcStatus.SUCCESS:
+                        stats["success"] += 1
+                    elif wc.status is WcStatus.FLUSH_ERR:
+                        stats["flushed"] += 1
+                    else:
+                        stats["retry_exc"] += 1
+            if qp_a.state is not QpState.RTS:
+                stats["repairs"] += 1
+                yield from qp_a.reconfigure()
+
+    sim.process(client(), name="batch-client")
+    sim.run()
+    checker.finalize(now=sim.now)
+    return stats
 
 
 # ------------------------------------------------------- linearizable KVS

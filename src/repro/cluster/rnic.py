@@ -47,6 +47,12 @@ class Rnic:
         self._degraded_until = 0
         self._degrade_factor = 1.0
         self.stats_command_rejects = 0
+        #: CPU nanoseconds burned by cores busy-polling CQs on this node
+        #: (``CompletionQueue`` poll modes ``busy``/``adaptive``).  This is
+        #: host CPU, not engine occupancy -- it never queues behind the
+        #: command processor or inbound engine; it is what a dedicated
+        #: polling core costs the node.
+        self.stats_cq_poll_busy_ns = 0
 
     # -- registries -----------------------------------------------------------
 
@@ -86,6 +92,12 @@ class Rnic:
             self._degraded_until, self.sim.now + int(duration_ns)
         )
         self._degrade_factor = float(factor)
+
+    def account_cq_poll(self, spent_ns):
+        """Charge ``spent_ns`` of host CPU burned spinning on a CQ."""
+        self.stats_cq_poll_busy_ns += int(spent_ns)
+        if _metrics.METRICS is not None:
+            _metrics.METRICS.counter("rnic.cq_poll_busy_ns").inc(int(spent_ns))
 
     def command(self, service_ns):
         """Process: occupy the command processor for ``service_ns``."""

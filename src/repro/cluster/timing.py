@@ -58,6 +58,50 @@ NIC_RX_COMPLETION_NS = 250
 #: CPU cost of a (successful) poll_cq.
 POLL_CQ_CPU_NS = 200
 
+# ---------------------------------------------------------------------------
+# Data-plane throughput modes: doorbell batching and CQ polling models
+# (ROADMAP item 4; ATR's rdma_transport_design playbook).
+# ---------------------------------------------------------------------------
+
+#: CPU cost of writing one additional WQE into a doorbell-batched chain.
+#: The first WR of a chain pays the full POST_SEND_CPU_NS (WQE write +
+#: doorbell ring); each linked successor only adds a WQE write -- the
+#: doorbell is rung once for the whole chain.
+DOORBELL_WQE_CPU_NS = 40
+
+#: Client NIC issue cost for a *chained* WQE: the doorbell's first WQE
+#: pays NIC_TX_NS (doorbell decode + WQE fetch + packet emit); successors
+#: ride the same chain fetch and only pay per-WQE processing.
+NIC_TX_CHAINED_NS = 60
+
+#: Receiver-side cost of landing a WRITE_WITH_IMM completion: the payload
+#: already DMA-ed straight to the target address, so only the recv WQE is
+#: consumed and a CQE carrying the immediate is generated (no payload
+#: copy, cheaper than SEND_DELIVERY_HEADER_NS's host notification path).
+WRITE_IMM_DELIVERY_NS = 500
+
+#: Adaptive CQ polling: how long the caller spins before arming the CQ
+#: event (ibv_req_notify_cq) and sleeping.
+CQ_ADAPTIVE_SPIN_NS = 1_000
+
+#: CPU cost of arming the CQ notification (ibv_req_notify_cq + the
+#: read-another-poll race check the verbs man page mandates).
+CQ_NOTIFY_REARM_NS = 100
+
+#: Latency of waking out of the armed-event sleep (interrupt + scheduler
+#: wakeup) before the woken thread re-polls.
+CQ_EVENT_WAKE_NS = 300
+
+
+def doorbell_batch_cpu_ns(num_wrs):
+    """CPU cost of posting ``num_wrs`` WRs as one doorbell-batched chain.
+
+    One full post (WQE + doorbell) plus a WQE write per linked successor.
+    """
+    if num_wrs <= 1:
+        return POST_SEND_CPU_NS
+    return POST_SEND_CPU_NS + (num_wrs - 1) * DOORBELL_WQE_CPU_NS
+
 #: Responder occupancy per inbound 8B READ: 1 / 138 M/s.
 READ_RESPONDER_SERVICE_NS = 7.25
 

@@ -105,6 +105,18 @@ class KrcoreLib:
         yield from self._enter_kernel()
         yield from vqp.post_send(wr_list, deadline)
 
+    def post_send_batch(self, vqp, wr_list, deadline_ns=None):
+        """Process: doorbell-batched ibv_post_send on a VQP.
+
+        One syscall, one virtualization pass, one doorbell: the WR chain
+        crosses the user/kernel boundary and reaches the shared physical
+        QP as a single command (§4.3) while keeping per-WR completion
+        semantics.
+        """
+        deadline = self.module.op_deadline(deadline_ns)
+        yield from self._enter_kernel()
+        yield from vqp.post_send_batch(wr_list, deadline)
+
     def post_send_multi(self, posts):
         """Process: post to several VQPs in one ioctl (``posts`` is a list
         of (vqp, wr_list) handled in order) -- the batched shim call that

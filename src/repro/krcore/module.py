@@ -810,6 +810,31 @@ class KrcoreModule:
                 self._route_message(wc, replenisher)
 
     def _route_message(self, wc, replenisher):
+        from repro.verbs.cq import Completion
+        from repro.verbs.types import Opcode
+
+        if wc.opcode is Opcode.RECV_IMM:
+            # WRITE_WITH_IMM: the payload already landed at ``raddr`` via
+            # the write half; the consumed kernel buffer only carried the
+            # CQE, so free its slot right away and restock.  The 32-bit
+            # immediate names the destination VQP.
+            self._free_slots.append(wc.wr_id)
+            self._post_kernel_buffer(replenisher)
+            vqp = self._vqps_by_id.get(wc.imm)
+            if vqp is None:
+                return  # no such VQP: the immediate is dropped
+            vqp.recv_completions.append(
+                Completion(
+                    0,
+                    WcStatus.SUCCESS,
+                    Opcode.RECV_IMM,
+                    byte_len=wc.byte_len,
+                    src=wc.src,
+                    imm=wc.imm,
+                )
+            )
+            self._vqp_msg_arrived(vqp)
+            return
         header = wc.header or {}
         msg = {
             "header": header,

@@ -16,7 +16,7 @@ Data content is real: one-sided ops move actual bytes between the nodes'
 simulated physical memories.
 """
 
-from repro.verbs.cq import Completion, CompletionQueue
+from repro.verbs.cq import POLL_MODES, Completion, CompletionQueue
 from repro.verbs.device import DriverContext, ProtectionDomain
 from repro.verbs.errors import (
     KrcoreError,
@@ -32,6 +32,7 @@ from repro.verbs.wr import RecvBuffer, WorkRequest
 from repro.verbs.connection import ConnectionManager, rc_connect
 
 __all__ = [
+    "POLL_MODES",
     "Completion",
     "CompletionQueue",
     "ConnectionManager",

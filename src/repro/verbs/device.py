@@ -73,7 +73,7 @@ class DriverContext:
             raise VerbsError("driver context not initialized")
         return ProtectionDomain(self)
 
-    def create_cq(self, depth=timing.CQ_DEPTH_DEFAULT):
+    def create_cq(self, depth=timing.CQ_DEPTH_DEFAULT, poll_mode="event"):
         """Process: create a completion queue (hardware queue allocation)."""
         if not self._initialized:
             raise VerbsError("driver context not initialized")
@@ -83,7 +83,9 @@ class DriverContext:
         yield timing.CREATE_CQ_NS - timing.CREATE_CQ_HW_NS
         if _trace.TRACER is not None:
             _trace.TRACER.end(self.sim.now, f"verbs@{self.node.gid}", "create_cq")
-        return CompletionQueue(self.sim, depth=depth)
+        return CompletionQueue(
+            self.sim, depth=depth, poll_mode=poll_mode, rnic=self.node.rnic
+        )
 
     def create_qp(self, qp_type, send_cq, recv_cq=None, sq_depth=timing.SQ_DEPTH_DEFAULT):
         """Process: create a QP; 87% of the time is the RNIC building the

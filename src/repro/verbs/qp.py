@@ -25,6 +25,7 @@ PSN and resends -- so atomics and SENDs stay exactly-once.
 
 from collections import deque
 
+from repro.check import hooks as _check
 from repro.cluster import timing
 from repro.cluster.memory import MemoryError_
 from repro.obs import metrics as _metrics
@@ -87,6 +88,11 @@ class QueuePair:
         self.retry_cnt = retry_cnt
         self.rnr_retry = rnr_retry
         self.rnr_timer_ns = rnr_timer_ns
+        # RC request-channel clock: latest request arrival time at the
+        # responder.  RC processes requests in PSN order, so a later
+        # (smaller, faster-flying) request must not overtake an earlier
+        # one on the wire; arrivals are clamped to this watermark.
+        self._req_arrival_clock = 0
         self.qpn = node.rnic.register_qp(self)
         self.state = QpState.RESET
         self.remote = None  # (gid, qpn) once RC-connected
@@ -217,6 +223,34 @@ class QueuePair:
         for wr in wrs:
             self._sq.put(wr)
 
+    def post_send_batch(self, wr_list):
+        """Post a WR chain with one doorbell (KRCORE §4.3 doorbell batching).
+
+        The WRs are linked into a chain and handed to the NIC as a single
+        command: the first WR pays the full doorbell + DMA-fetch cost, every
+        successor is fetched off the chain for ``NIC_TX_CHAINED_NS`` instead
+        of ``NIC_TX_NS``.  Callers model the CPU side of building the chain
+        with :func:`repro.cluster.timing.doorbell_batch_cpu_ns`.
+
+        Completion semantics are identical to posting the WRs one at a time
+        (same ordering, same signaling, same error flush behaviour) -- the
+        equivalence the batching test harness pins down.
+        """
+        if isinstance(wr_list, (list, tuple)):
+            wrs = list(wr_list)
+        else:
+            wrs = [wr_list]
+        if len(wrs) >= 2:
+            wrs[0].chained = False
+            for wr in wrs[1:]:
+                wr.chained = True
+            if _metrics.METRICS is not None:
+                _metrics.METRICS.counter("verbs.doorbell_batches").inc()
+                _metrics.METRICS.counter("verbs.doorbell_batched_wrs").inc(len(wrs))
+            if _check.CHECKER is not None:
+                _check.CHECKER.batch_posted(self, wrs)
+        self.post_send(wrs)
+
     def post_recv(self, recv_buffer):
         self._recv_buffers.append(recv_buffer)
 
@@ -231,7 +265,9 @@ class QueuePair:
                 continue
             if self.qp_type is QpType.DC:
                 yield from self._dc_retarget(wr)
-            yield timing.NIC_TX_NS
+            # A chained WQE rides the doorbell of its chain head: the NIC
+            # already has the chain, so issue is a cheap descriptor fetch.
+            yield timing.NIC_TX_CHAINED_NS if wr.chained else timing.NIC_TX_NS
             done = self.sim.event()
             prev, self._last_done = self._last_done, done
             self.sim.process(self._flight(wr, prev, done), name=self._flight_name)
@@ -306,7 +342,7 @@ class QueuePair:
                         node.memory.check_local(wr.lkey, wr.laddr, length)
                     except MemoryError_ as err:
                         raise _Malformed(WcStatus.LOC_PROT_ERR) from err
-                    if opcode in (Opcode.WRITE, Opcode.SEND):
+                    if opcode in (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND):
                         payload = node.memory.read(wr.laddr, length)
                     else:
                         payload = None
@@ -320,10 +356,10 @@ class QueuePair:
                     if remote_gid is None:
                         raise _Malformed(WcStatus.BAD_OPCODE_ERR)
                 request_bytes = timing.REQUEST_HEADER_BYTES
-                if opcode in (Opcode.WRITE, Opcode.SEND):
+                if opcode in (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND):
                     request_bytes += length
                 wire_out = fabric.one_way_ns(request_bytes)
-                if opcode is Opcode.WRITE:
+                if opcode is Opcode.WRITE or opcode is Opcode.WRITE_IMM:
                     wire_out += int(length * timing.WRITE_EXTRA_NS_PER_BYTE)
                 duplicated = False
                 if fabric.link_faults:
@@ -339,6 +375,16 @@ class QueuePair:
                     _metrics.METRICS.counter(
                         f"fabric.link[{node.gid}->{remote_gid}]"
                     ).inc()
+                if qp_type is QpType.RC:
+                    # PSN ordering: an RC request never lands before its
+                    # predecessor on the same connection.  A no-op for
+                    # uniform-size traffic (arrivals already monotone);
+                    # it only bites when a small WR chases a large one.
+                    arrival = self.sim.now + wire_out
+                    if arrival < self._req_arrival_clock:
+                        wire_out = self._req_arrival_clock - self.sim.now
+                    else:
+                        self._req_arrival_clock = arrival
                 yield wire_out
                 # -- remote lookup (_resolve_remote) --
                 if not fabric.has_node(remote_gid):
@@ -519,7 +565,7 @@ class QueuePair:
             self.node.memory.check_local(wr.lkey, wr.laddr, wr.length)
         except MemoryError_ as err:
             raise _Malformed(WcStatus.LOC_PROT_ERR) from err
-        if wr.opcode in (Opcode.WRITE, Opcode.SEND):
+        if wr.opcode in (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND):
             return self.node.memory.read(wr.laddr, wr.length)
         return None
 
@@ -563,7 +609,7 @@ class QueuePair:
                 data = memory.read(wr.raddr, wr.length)
                 self.node.memory.write(wr.laddr, data)
                 return wr.length
-            if wr.opcode is Opcode.WRITE:
+            if wr.opcode is Opcode.WRITE or wr.opcode is Opcode.WRITE_IMM:
                 service = timing.WRITE_RESPONDER_SERVICE_NS
                 service += timing.responder_payload_service_ns(wr.length)
                 if self.qp_type is QpType.DC:
@@ -574,6 +620,11 @@ class QueuePair:
                     raise _Unreachable()
                 memory.check_remote(wr.rkey, wr.raddr, wr.length, write=True)
                 memory.write(wr.raddr, payload)
+                if wr.opcode is Opcode.WRITE_IMM:
+                    # The immediate rides the last write packet and raises a
+                    # receiver-side CQE, consuming a posted recv buffer --
+                    # RNR semantics apply just like a SEND.
+                    yield from self._deliver_imm(remote_node, wr)
                 return 0
             if wr.opcode in (Opcode.CAS, Opcode.FETCH_ADD):
                 yield from rnic.serve_inbound(timing.ATOMIC_RESPONDER_SERVICE_NS)
@@ -613,6 +664,9 @@ class QueuePair:
         rnic = remote_node.rnic
         if wr.opcode in (Opcode.CAS, Opcode.FETCH_ADD):
             service = timing.ATOMIC_RESPONDER_SERVICE_NS
+        elif wr.opcode is Opcode.WRITE_IMM:
+            service = timing.WRITE_RESPONDER_SERVICE_NS
+            service += timing.responder_payload_service_ns(wr.length)
         else:
             service = timing.SEND_RESPONDER_SERVICE_NS
         yield from rnic.serve_inbound(service)
@@ -655,6 +709,38 @@ class QueuePair:
             )
         )
 
+    def _deliver_imm(self, remote_node, wr):
+        """Raise the receiver-side CQE for a WRITE_WITH_IMM.
+
+        The payload already landed at ``raddr`` via the write half; the
+        immediate consumes a recv buffer (or SRQ slot for DCT) purely to
+        carry the CQE, without touching the buffer's memory.
+        """
+        if self.qp_type is QpType.DC:
+            target = remote_node.rnic.dct_target(wr.dct_number)
+            buffers, cq, receiver_qp = target.srq, target.recv_cq, None
+        else:
+            receiver_qp = remote_node.rnic.qp(self._receiver_qpn(wr))
+            if receiver_qp is None:
+                raise _Malformed(WcStatus.RETRY_EXC_ERR)
+            buffers, cq = receiver_qp._recv_buffers, receiver_qp.recv_cq
+        if not buffers or cq is None:
+            raise _RnrNak()
+        recv_buffer = buffers.popleft()
+        yield timing.WRITE_IMM_DELIVERY_NS
+        cq.push(
+            Completion(
+                recv_buffer.wr_id,
+                WcStatus.SUCCESS,
+                Opcode.RECV_IMM,
+                byte_len=wr.length,
+                src=(self.node.gid, self.qpn),
+                header=wr.header,
+                qp=receiver_qp,
+                imm=wr.imm,
+            )
+        )
+
     def _receiver_qpn(self, wr):
         if self.qp_type is QpType.RC:
             return self.remote[1]
@@ -669,6 +755,8 @@ class QueuePair:
                 self.sim.now, f"qp{self.qpn}@{self.node.gid}",
                 f"wr.{wr.opcode.value}", wr.trace_id, status=status.name,
             )
+        if _check.CHECKER is not None:
+            _check.CHECKER.wr_completed(self, wr, status)
         if status is WcStatus.SUCCESS and not wr.signaled:
             self._pending_unsignaled += 1
             return

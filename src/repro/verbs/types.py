@@ -20,10 +20,12 @@ class QpState(enum.Enum):
 class Opcode(enum.Enum):
     READ = "READ"
     WRITE = "WRITE"
+    WRITE_IMM = "WRITE_IMM"  # RDMA write with immediate (receiver CQE)
     SEND = "SEND"
     CAS = "CAS"  # compare-and-swap, 8 bytes
     FETCH_ADD = "FETCH_ADD"  # fetch-and-add, 8 bytes
     RECV = "RECV"  # appears only in completions
+    RECV_IMM = "RECV_IMM"  # receiver side of WRITE_IMM (completion-only)
 
 
 class WcStatus(enum.Enum):
@@ -37,5 +39,7 @@ class WcStatus(enum.Enum):
     RETRY_EXC_ERR = "RETRY_EXC_ERR"  # remote unreachable (dead/dropped, retries exhausted)
 
 
-#: Opcodes a requester may post (RECV is completion-only).
-POSTABLE_OPCODES = frozenset({Opcode.READ, Opcode.WRITE, Opcode.SEND, Opcode.CAS, Opcode.FETCH_ADD})
+#: Opcodes a requester may post (RECV/RECV_IMM are completion-only).
+POSTABLE_OPCODES = frozenset(
+    {Opcode.READ, Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND, Opcode.CAS, Opcode.FETCH_ADD}
+)

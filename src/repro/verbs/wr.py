@@ -31,6 +31,8 @@ class WorkRequest:
         "dct_gid",
         "dct_number",
         "dct_key",
+        "imm",
+        "chained",
         "trace_id",
     )
 
@@ -50,6 +52,7 @@ class WorkRequest:
         dct_gid=None,
         dct_number=None,
         dct_key=None,
+        imm=None,
     ):
         self.opcode = opcode
         self.wr_id = wr_id
@@ -65,6 +68,12 @@ class WorkRequest:
         self.dct_gid = dct_gid
         self.dct_number = dct_number
         self.dct_key = dct_key
+        #: 32-bit immediate delivered in the receiver's CQE (WRITE_IMM).
+        self.imm = imm
+        #: True for every WR after the first in a doorbell-batched chain
+        #: (set by ``QueuePair.post_send_batch``): the NIC fetches the
+        #: whole chain on one doorbell, so chained WQEs issue cheaper.
+        self.chained = False
         #: Async-span id assigned by post_send when a tracer is installed;
         #: never cloned (each posted WR is its own span).
         self.trace_id = None
@@ -98,6 +107,23 @@ class WorkRequest:
         )
 
     @classmethod
+    def write_imm(
+        cls, laddr, length, lkey, raddr, rkey, imm, wr_id=0, signaled=True, **kwargs
+    ):
+        return cls(
+            Opcode.WRITE_IMM,
+            wr_id=wr_id,
+            signaled=signaled,
+            laddr=laddr,
+            length=length,
+            lkey=lkey,
+            raddr=raddr,
+            rkey=rkey,
+            imm=imm,
+            **kwargs,
+        )
+
+    @classmethod
     def send(cls, laddr, length, lkey, wr_id=0, signaled=True, header=None, **kwargs):
         return cls(
             Opcode.SEND,
@@ -127,7 +153,7 @@ class WorkRequest:
         )
 
     def clone(self):
-        return WorkRequest(
+        clone = WorkRequest(
             self.opcode,
             wr_id=self.wr_id,
             signaled=self.signaled,
@@ -142,7 +168,10 @@ class WorkRequest:
             dct_gid=self.dct_gid,
             dct_number=self.dct_number,
             dct_key=self.dct_key,
+            imm=self.imm,
         )
+        clone.chained = self.chained
+        return clone
 
     def __repr__(self):
         return f"WorkRequest({self.opcode.value}, wr_id={self.wr_id}, signaled={self.signaled})"

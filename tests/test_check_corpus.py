@@ -40,6 +40,7 @@ def test_corpus_files_are_canonical_json():
         "kvs_lin_fifo_clean.json",
         "chaos_small_fifo_clean.json",
         "meta_failover_fifo_clean.json",
+        "batch_fault_fifo_clean.json",
     ],
 )
 def test_clean_baselines_stay_clean(name):
