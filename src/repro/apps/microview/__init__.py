@@ -1,0 +1,42 @@
+"""MicroView: a SmartNIC-style collector harvesting per-pod metric MRs.
+
+The scenario from ROADMAP item 5: one collector node READs thousands of
+tiny (4 KB) per-pod memory regions off the worker nodes every cycle,
+while pods churn -- each pod death retracts its MR and each pod start
+registers a fresh one.  Registration/validation cost, not connection
+setup, dominates (KRCORE §4.2), which is exactly the MRStore lease/epoch
+machinery this app stresses.
+
+Three harvest strategies ride three control planes:
+
+* ``serial``   -- N small one-sided READs, one per pod;
+* ``batched``  -- doorbell-batched READ chains (PR 8's
+  ``post_send_batch``): one doorbell per worker;
+* ``vectored`` -- multi-SGE gather READs (``Opcode.READ_V``): one WR
+  names up to ``timing.MAX_VECTORED_SGES`` pod segments.
+
+across the verbs / LITE / KRCORE backends (LITE's high-level API can
+only harvest serially).
+"""
+
+from repro.apps.microview.backends import (
+    KrcoreBackend,
+    LiteBackend,
+    MicroViewError,
+    VerbsBackend,
+)
+from repro.apps.microview.collector import STRATEGIES, Collector, HarvestStats
+from repro.apps.microview.pods import POD_BYTES, Pod, PodDirectory
+
+__all__ = [
+    "Collector",
+    "HarvestStats",
+    "KrcoreBackend",
+    "LiteBackend",
+    "MicroViewError",
+    "POD_BYTES",
+    "Pod",
+    "PodDirectory",
+    "STRATEGIES",
+    "VerbsBackend",
+]

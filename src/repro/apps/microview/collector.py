@@ -1,0 +1,85 @@
+"""The MicroView collector: harvest every pod MR, each cycle.
+
+One :class:`Collector` drives one backend over one
+:class:`~repro.apps.microview.pods.PodDirectory`: each cycle re-snapshots
+the pod targets (churn swaps rkeys out between cycles), runs one harvest
+with the chosen strategy, and accounts latency/goodput into a
+:class:`HarvestStats`.
+"""
+
+from repro.sim import US
+
+#: The harvest strategies every backend answers to (LITE degrades the
+#: last two to the serial loop).
+STRATEGIES = ("serial", "batched", "vectored")
+
+
+class HarvestStats:
+    """Per-run harvest accounting."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.total_ns = 0
+        self.bytes_ok = 0
+        self.failed_reads = 0
+        self.cycle_ns = []  # per-cycle harvest latency, in cycle order
+
+    @property
+    def avg_cycle_us(self):
+        if not self.cycles:
+            return 0.0
+        return self.total_ns / self.cycles / US
+
+    @property
+    def goodput_mbps(self):
+        """Successfully harvested MB/s over the harvesting wall-clock."""
+        if not self.total_ns:
+            return 0.0
+        return self.bytes_ok / (self.total_ns / 1e9) / 1e6
+
+
+class Collector:
+    """The metrics-harvesting loop on the collector node."""
+
+    def __init__(self, node, backend, directory):
+        self.node = node
+        self.sim = node.sim
+        self.backend = backend
+        self.directory = directory
+        self.stats = HarvestStats()
+
+    def setup(self):
+        """Process: connect to every worker and size the scratch buffer
+        for the largest possible snapshot."""
+        gids = sorted({node.gid for node, _ in self.directory.workers})
+        yield from self.backend.connect(gids)
+        nbytes = max(
+            len(self.directory.pods) * self.directory.pod_bytes,
+            self.directory.pod_bytes,
+        )
+        self._laddr, self._lkey = yield from self.backend.setup_buffer(nbytes)
+
+    def harvest_cycle(self, strategy):
+        """Process: one full harvest of the current pod snapshot."""
+        harvest = getattr(self.backend, f"harvest_{strategy}")
+        targets = self.directory.targets()
+        started = self.sim.now
+        bytes_ok, failed = yield from harvest(targets, self._laddr, self._lkey)
+        elapsed = self.sim.now - started
+        stats = self.stats
+        stats.cycles += 1
+        stats.total_ns += elapsed
+        stats.bytes_ok += bytes_ok
+        stats.failed_reads += failed
+        stats.cycle_ns.append(elapsed)
+
+    def run_cycles(self, cycles, strategy, gap_ns=0):
+        """Process: ``cycles`` back-to-back harvests (plus an optional
+        inter-cycle gap, the collector's sampling interval)."""
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown harvest strategy {strategy!r}")
+        for _ in range(cycles):
+            yield from self.harvest_cycle(strategy)
+            if gap_ns:
+                yield gap_ns
+        return self.stats

@@ -36,7 +36,7 @@ from repro.bench.perf import (
 ALL_FIGURES = [
     "fig01", "fig03", "fig08", "fig09", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16", "ablations",
-    "discussion", "meta_scale", "overload", "dataplane",
+    "discussion", "meta_scale", "overload", "dataplane", "microview",
 ]
 
 

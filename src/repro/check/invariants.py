@@ -25,6 +25,13 @@ Invariants
     accept keeps an epoch strictly in the past (re-stamping it -- the
     PR 4 bug -- would suppress revalidation after the meta plane
     recovers).
+``mr-read-churn-window``
+    No one-sided READ executes against a remote MR retracted more than
+    one lease ago: ``dereg_mr`` defers the physical free by exactly one
+    lease, so a READ landing later than ``retract_t + lease_ns`` would
+    touch freed memory.  Fed by registration/retraction hooks in
+    ``KrcoreModule`` and execution hooks on the verbs READ paths
+    (including vectored READ_V segments).
 ``meta-replica-divergence`` / ``meta-lost-write``
     At quiescence, every live owner shard of a written meta key holds
     the last written value (convergence); a write visible on *no* live
@@ -109,6 +116,8 @@ class Checker:
         self._batch_chains = 0
         # rnic busy: id(resource) -> [resource, label, last_end]
         self._busy = {}
+        # mr churn: (gid, rkey) -> (retract_t, lease_ns) for retracted MRs
+        self._mr_retired = {}
         # degrade breakers: id(breaker) -> [breaker, last_state]
         self._breakers = {}
         # admission lifecycle: (id(gate), op_id) -> last event
@@ -214,6 +223,37 @@ class Checker:
                 store.sim.now,
                 f"{store.module.node.gid} cached a fresh verdict for "
                 f"({gid}, rkey={rkey}) at past epoch {entry_epoch} != {now_epoch}",
+            )
+
+    # ------------------------------------------------------- MR churn window
+
+    def mr_registered(self, gid, rkey, t):
+        """``KrcoreModule.reg_mr`` registered (gid, rkey): the key is live
+        again, so any earlier retraction record for it is obsolete."""
+        self._note("mr.registered")
+        self._mr_retired.pop((gid, rkey), None)
+
+    def mr_retracted(self, gid, rkey, t, lease_ns):
+        """``KrcoreModule.dereg_mr`` retracted (gid, rkey); the physical
+        free lands one lease later."""
+        self._note("mr.retracted")
+        self._mr_retired[(gid, rkey)] = (int(t), int(lease_ns))
+
+    def read_executed(self, gid, rkey, t):
+        """A one-sided READ's memory op executed against (gid, rkey)."""
+        record = self._mr_retired.get((gid, rkey))
+        if record is None:
+            return
+        self._note("mr.read_after_retract")
+        retract_t, lease_ns = record
+        if t > retract_t + lease_ns:
+            self.violate(
+                "mr-read-churn-window",
+                t,
+                f"READ executed against ({gid}, rkey={rkey}) at t={int(t)}, "
+                f"{int(t) - retract_t} ns after its retraction at "
+                f"{retract_t} -- past the one-lease ({lease_ns} ns) "
+                "deferred-free window",
             )
 
     # ------------------------------------------------------------ meta plane

@@ -43,6 +43,11 @@ Scenario catalogue
     the lookup histories (reported, not enforced: a failover read from
     a not-yet-converged replica is legal for this plane, which only
     guarantees convergence -- see DESIGN.md §10).
+``mr_churn``
+    The MicroView churn-chaos harness (pod dereg/re-register storms +
+    meta outage + stale accepts) under the full registry, most notably
+    ``mr-read-churn-window``: no schedule may let a READ execute
+    against an MR retracted more than one lease ago.
 """
 
 from collections import deque
@@ -474,3 +479,37 @@ def meta_failover(controller, checker, seed=5, writers=2, rounds=3, shards=3):
     sim.run()
     checker.finalize(modules=modules.values(), plane=plane, now=sim.now)
     return stats
+
+
+# --------------------------------------------------------------- MR churn
+
+
+@scenario("mr_churn", seed=5, cycles=14)
+def mr_churn(controller, checker, seed=5, cycles=14):
+    """MicroView pod churn + meta outage under the churn-window invariant."""
+    from repro.faults.microview import MicroViewChaosHarness
+
+    harness = MicroViewChaosHarness(seed, cycles=cycles, check=False)
+    controller.attach(harness.sim)
+    report = harness.run()
+    checker.finalize(
+        modules=harness.modules.values(), plane=harness.meta, now=harness.sim.now
+    )
+    # Fold in the harness's schedule-independent correctness invariants.
+    # degraded_mode_engaged is deliberately left out: whether the outage
+    # catches enough expired entries is scenario *effectiveness*, and a
+    # reordered schedule may legally shift the epoch-roll/outage overlap.
+    for name in ("harvest_progress", "shared_qp_healthy", "churn_and_faults_applied"):
+        if not report.invariants[name]:
+            checker.custom(
+                f"microview-{name}", harness.sim.now,
+                f"microview harness invariant {name} failed ({report.summary()})",
+            )
+    return {
+        "report_digest": report.digest(),
+        "cycles": report.cycles,
+        "failed_reads": report.failed_reads,
+        "churns": report.churns,
+        "stale_accepts": report.stale_accepts,
+        "reads_after_retract": checker.observed.get("mr.read_after_retract", 0),
+    }

@@ -147,6 +147,23 @@ def responder_payload_service_ns(nbytes):
 REQUEST_HEADER_BYTES = 30
 
 # ---------------------------------------------------------------------------
+# Vectored (multi-SGE) gather READ: one request that names several remote
+# segments and scatters them back into one contiguous local buffer.  The
+# request carries one descriptor per remote SGE; the responder pays a DMA
+# setup per *extra* discontiguous segment on top of the usual READ service
+# (the payload-size cost is charged once, on the summed length).
+# ---------------------------------------------------------------------------
+
+#: Wire bytes per remote-SGE descriptor (8B addr + 4B rkey + 4B length).
+VECTORED_SGE_WIRE_BYTES = 16
+
+#: Responder DMA-setup occupancy per gather segment after the first.
+VECTORED_SGE_SERVICE_NS = 1.6
+
+#: Max remote SGEs one vectored READ may carry (ibv max_sge-like cap).
+MAX_VECTORED_SGES = 16
+
+# ---------------------------------------------------------------------------
 # Reliability: retransmission timers and retry budgets (§3.1 C#3; the
 # transport-level retries that make lease-based MR caching safe).  Scaled
 # for the simulated rack (a real IB local-ACK timeout is 4.096us * 2^n).

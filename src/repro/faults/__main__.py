@@ -4,6 +4,7 @@
     python -m repro.faults --seed 5 --ops 50 --trace /tmp/chaos.json
     python -m repro.faults --seed 5 --metrics -
     python -m repro.faults --gray --seed 5
+    python -m repro.faults --microview --seed 5
 
 One run boots the chaos harness (YCSB over KRCORE under a random fault
 plan drawn from ``--seed``), prints the report summary and the applied
@@ -15,6 +16,13 @@ and the invariants assert the overload-protection layer
 (``repro.degrade``) keeps the well-behaved tenant's goodput and p99
 bounded.  ``--unprotected`` drops the protection policy to demonstrate
 the collapse the layer prevents.
+
+``--microview`` runs the MR-churn harness: the MicroView collector
+harvests per-pod MRs while a churn driver deregisters and re-registers
+pods under it and a meta outage forces the MRStore into stale-accept
+mode.  Invariants assert no READ ever executes against an MR retracted
+more than one lease ago, the degraded mode actually engaged, and the
+shared physical QP survived every churn race.
 
 ``--trace PATH`` installs the ``repro.obs`` tracer for the run and
 exports Chrome trace-event JSON (Perfetto-loadable): every injected
@@ -45,6 +53,11 @@ def main(argv=None):
              "the goodput collapse the protection layer prevents",
     )
     parser.add_argument(
+        "--microview", action="store_true",
+        help="run the MicroView MR-churn harness (pod dereg/re-register "
+             "storms + meta outage) instead of the binary-fault harness",
+    )
+    parser.add_argument(
         "--seed", type=int, default=1,
         help="fault-plan and workload seed (default 1); one seed gives a "
              "byte-identical report digest",
@@ -73,10 +86,17 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    if args.gray:
-        from repro.faults.gray import run_gray_chaos
+    if args.gray or args.microview:
+        if args.gray and args.microview:
+            parser.error("--gray and --microview are mutually exclusive")
+        if args.gray:
+            from repro.faults.gray import run_gray_chaos
 
-        report = run_gray_chaos(args.seed, protected=not args.unprotected)
+            report = run_gray_chaos(args.seed, protected=not args.unprotected)
+        else:
+            from repro.faults.microview import run_microview_chaos
+
+            report = run_microview_chaos(args.seed)
         print(report.summary())
         for at_ns, kind, summary in report.fault_log:
             print(f"  t={at_ns}ns {kind}: {summary}")

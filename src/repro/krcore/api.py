@@ -155,6 +155,16 @@ class KrcoreLib:
             raise KrcoreError(f"READ failed: {entry.status}", code=entry.status)
         return entry
 
+    def read_vectored_sync(self, vqp, laddr, lkey, sges):
+        """Process: one synchronous vectored gather READ (§4.3 TODO in the
+        MicroView collector): ``sges`` is a list of ``(raddr, rkey, length)``
+        remote segments scattered back-to-back into ``laddr``."""
+        wr = WorkRequest.read_vectored(laddr, lkey, sges)
+        entry = yield from self.post_send_and_wait(vqp, wr)
+        if not entry.ok:
+            raise KrcoreError(f"READ_V failed: {entry.status}", code=entry.status)
+        return entry
+
     def write_sync(self, vqp, laddr, lkey, raddr, rkey, length):
         """Process: one synchronous one-sided WRITE; returns the entry."""
         wr = WorkRequest.write(laddr, length, lkey, raddr, rkey)

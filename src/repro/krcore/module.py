@@ -216,6 +216,10 @@ class KrcoreModule:
         self.stats_meta_lookups = 0
         self.stats_meta_failovers = 0
         self.stats_rc_fallbacks = 0
+        # Lease-churn accounting (MicroView pod churn): registrations and
+        # retractions since boot; sampled per harvest cycle by the app.
+        self.stats_mrs_registered = 0
+        self.stats_mrs_retracted = 0
         self._wrid_tokens = {}
         self._next_token = 1
         self._repairing = set()
@@ -283,6 +287,9 @@ class KrcoreModule:
         yield timing.reg_mr_ns(length)
         region = self.node.memory.register(addr, length)
         self.valid_mr.record(region)
+        self.stats_mrs_registered += 1
+        if _check.CHECKER is not None:
+            _check.CHECKER.mr_registered(self.node.gid, region.rkey, self.sim.now)
         self.sim.process(
             self._publish_mr(region), name=f"krcore-publish-mr@{self.node.gid}"
         )
@@ -308,6 +315,11 @@ class KrcoreModule:
         period, so stale MRStore entries elsewhere can never hit freed
         memory (§4.2)."""
         self.valid_mr.forget(region)
+        self.stats_mrs_retracted += 1
+        if _check.CHECKER is not None:
+            _check.CHECKER.mr_retracted(
+                self.node.gid, region.rkey, self.sim.now, self.mr_store.lease_ns
+            )
         for gid in self.meta_plane.owner_gids(mr_key(self.node.gid, region.rkey)):
             yield from self.send_kernel_msg(
                 gid,
@@ -377,10 +389,17 @@ class KrcoreModule:
 
     def _repair_qp(self, qp):
         """Process: bring a wrecked pool QP back to RTS in the background
-        (drain remaining flushes, then the costly reconfiguration)."""
+        (drain remaining flushes, then the costly reconfiguration).
+
+        Every posted WR must be completed *and polled* before the reset:
+        requests already in flight when the QP entered ERR still complete
+        (flushed) at their own network-determined times, and resetting the
+        slot accounting under them would make their eventual completions
+        reclaim slots the fresh QP never posted."""
         try:
-            while self.poll_inner(qp):
-                pass
+            while qp.outstanding:
+                if self.poll_inner(qp) == 0:
+                    yield qp.send_cq.wait()
             yield from qp.reconfigure()
         finally:
             self._repairing.discard(qp)

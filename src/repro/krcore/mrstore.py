@@ -17,6 +17,7 @@ posting, or a bad key would wreck the shared QP (§3.1, C#3).
 
 from repro.check import hooks as _check
 from repro.cluster import timing
+from repro.krcore.meta import mr_key
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.verbs.errors import DeadlineExceededError, MetaUnavailableError
@@ -29,14 +30,32 @@ class ValidMr:
         self.node = node
         self._by_rkey = {}
         self._by_lkey = {}
+        #: forget() calls that found a *different* region under the key --
+        #: the recycled-key churn race the identity check below defends.
+        self.stats_forget_mismatches = 0
 
     def record(self, region):
         self._by_rkey[region.rkey] = region
         self._by_lkey[region.lkey] = region
 
     def forget(self, region):
-        self._by_rkey.pop(region.rkey, None)
-        self._by_lkey.pop(region.lkey, None)
+        # Pop by identity, not by key: under churn a retracted region's
+        # recycled rkey/lkey may already name a *new* registration, and
+        # dropping that one would fail every remote validation against
+        # the live MR.
+        mismatch = False
+        if self._by_rkey.get(region.rkey) is region:
+            del self._by_rkey[region.rkey]
+        elif region.rkey in self._by_rkey:
+            mismatch = True
+        if self._by_lkey.get(region.lkey) is region:
+            del self._by_lkey[region.lkey]
+        elif region.lkey in self._by_lkey:
+            mismatch = True
+        if mismatch:
+            self.stats_forget_mismatches += 1
+            if _metrics.METRICS is not None:
+                _metrics.METRICS.counter("krcore.validmr_forget_mismatches").inc()
 
     def check_local(self, lkey, addr, length):
         """True iff [addr, addr+length) lies in a valid local region."""
@@ -64,19 +83,49 @@ class MrStore:
         self.sim = module.sim
         self.lease_ns = lease_ns
         self._cache = {}  # (gid, rkey) -> (epoch, (addr, length))
+        #: (gid, rkey) entries accepted past their lease during a meta
+        #: outage.  While every owner shard of the record stays dark, the
+        #: marker lets cached()/check_cached() keep honoring the entry on
+        #: its *original* epoch (one degraded verdict, not one slow-path
+        #: lookup per WR); the first probe that finds an owner serving
+        #: again drops the marker, so the next access runs a real lookup.
+        self._stale_accepted = set()
+        #: gid -> set(rkey) over cache keys, so invalidate(gid) during a
+        #: churn storm is O(entries for that gid), not O(whole cache).
+        self._by_gid = {}
         self.stats_hits = 0
         self.stats_misses = 0
         #: Lease-expired entries accepted because the meta server was
         #: unreachable (degraded mode).
         self.stats_stale_accepts = 0
+        #: Fast-path hits served off a stale-accept marker (meta down).
+        self.stats_stale_hits = 0
+        #: Cache entries dropped by invalidate() (churn accounting).
+        self.stats_invalidated = 0
 
     def _epoch(self):
         return self.sim.now // self.lease_ns
 
+    def _stale_hit(self, gid, rkey):
+        """True iff a lease-expired entry may still be honored: it was
+        stale-accepted during an outage and every owner shard of its meta
+        record is *still* dark.  Clears the marker on recovery, so a
+        stale accept never outlives meta recovery past the next access."""
+        if (gid, rkey) not in self._stale_accepted:
+            return False
+        owners = self.module.meta_plane.owners(mr_key(gid, rkey))
+        if any(shard.available for shard in owners):
+            self._stale_accepted.discard((gid, rkey))
+            return False
+        return True
+
     def cached(self, gid, rkey):
-        """The cached (addr, length) if present and within its lease."""
+        """The cached (addr, length) if present and within its lease (or
+        stale-accepted while its meta record's owners are all dark)."""
         entry = self._cache.get((gid, rkey))
-        if entry is None or entry[0] != self._epoch():
+        if entry is None:
+            return None
+        if entry[0] != self._epoch() and not self._stale_hit(gid, rkey):
             return None
         return entry[1]
 
@@ -87,10 +136,19 @@ class MrStore:
         caller must then run :meth:`check`, which may block on a
         meta-server lookup).  Lets the per-WR hot path skip a generator
         when the MR is already cached -- the overwhelmingly common case.
+        A stale-accepted entry counts as a hit while meta stays down:
+        degraded mode already delivered its verdict, so re-running the
+        slow path per WR would just burn the retry budget again.
         """
         entry = self._cache.get((gid, rkey))
-        if entry is None or entry[0] != self.sim.now // self.lease_ns:
+        if entry is None:
             return None
+        if entry[0] != self.sim.now // self.lease_ns:
+            if not self._stale_hit(gid, rkey):
+                return None
+            self.stats_stale_hits += 1
+            if _metrics.METRICS is not None:
+                _metrics.METRICS.counter("krcore.mrstore_stale_hits").inc()
         self.stats_hits += 1
         if _metrics.METRICS is not None:
             _metrics.METRICS.counter("krcore.mrstore_hits").inc()
@@ -124,6 +182,7 @@ class MrStore:
             try:
                 record = yield from self._lookup_robust(gid, rkey, cpu_id, deadline)
                 epoch = self._epoch()
+                self._stale_accepted.discard((gid, rkey))
             except MetaUnavailableError:
                 stale = self._cache.get((gid, rkey))
                 if stale is None:
@@ -139,6 +198,8 @@ class MrStore:
                 # deferred free relies on.
                 epoch, record = stale
                 accepted_stale = True
+                if record is not None:
+                    self._stale_accepted.add((gid, rkey))
             finally:
                 if _trace.TRACER is not None:
                     _trace.TRACER.end(
@@ -152,6 +213,7 @@ class MrStore:
                     self, gid, rkey, epoch, self._epoch(), accepted_stale
                 )
             self._cache[(gid, rkey)] = (epoch, record)
+            self._by_gid.setdefault(gid, set()).add(rkey)
         else:
             self.stats_hits += 1
             if _metrics.METRICS is not None:
@@ -190,7 +252,22 @@ class MrStore:
 
     def invalidate(self, gid, rkey=None):
         if rkey is not None:
-            self._cache.pop((gid, rkey), None)
+            if self._cache.pop((gid, rkey), None) is not None:
+                self.stats_invalidated += 1
+            self._stale_accepted.discard((gid, rkey))
+            rkeys = self._by_gid.get(gid)
+            if rkeys is not None:
+                rkeys.discard(rkey)
+                if not rkeys:
+                    del self._by_gid[gid]
             return
-        for key in [k for k in self._cache if k[0] == gid]:
-            del self._cache[key]
+        # The index covers every entry inserted through check(); fall back
+        # to a scan only when the gid was never indexed (entries seeded
+        # directly into _cache, as some tests do).
+        rkeys = self._by_gid.pop(gid, None)
+        if rkeys is None:
+            rkeys = {k[1] for k in self._cache if k[0] == gid}
+        for rk in rkeys:
+            if self._cache.pop((gid, rk), None) is not None:
+                self.stats_invalidated += 1
+            self._stale_accepted.discard((gid, rk))

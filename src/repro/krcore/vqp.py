@@ -264,6 +264,30 @@ class Vqp:
                         f"invalid remote MR (rkey={wr.rkey})",
                         code=WcStatus.REM_ACCESS_ERR,
                     )
+            elif wr.opcode is Opcode.READ_V:
+                # Vectored gather: every remote segment must validate
+                # before anything is posted (one bad SGE would wreck the
+                # shared physical QP mid-gather).
+                if not wr.sges or len(wr.sges) > timing.MAX_VECTORED_SGES:
+                    raise KrcoreError(
+                        f"vectored READ carries {len(wr.sges or ())} SGEs "
+                        f"(1..{timing.MAX_VECTORED_SGES} allowed)",
+                        code=WcStatus.BAD_OPCODE_ERR,
+                    )
+                for raddr, rkey, seg_len in wr.sges:
+                    ok = module.mr_store.check_cached(
+                        self.remote_gid, rkey, raddr, seg_len
+                    )
+                    if ok is None:  # cache miss: blocking meta-server path
+                        ok = yield from module.mr_store.check(
+                            self.remote_gid, rkey, raddr, seg_len,
+                            cpu_id=self.cpu_id, deadline=deadline,
+                        )
+                    if not ok:
+                        raise KrcoreError(
+                            f"invalid remote MR in gather list (rkey={rkey})",
+                            code=WcStatus.REM_ACCESS_ERR,
+                        )
         if deadline is not None:
             # The blocking validation above is where one-sided posts burn
             # time; check here, before any CQ-entry/wr_id bookkeeping

@@ -358,6 +358,10 @@ class QueuePair:
                 request_bytes = timing.REQUEST_HEADER_BYTES
                 if opcode in (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND):
                     request_bytes += length
+                elif opcode is Opcode.READ_V:
+                    if not wr.sges:
+                        raise _Malformed(WcStatus.BAD_OPCODE_ERR)
+                    request_bytes += timing.VECTORED_SGE_WIRE_BYTES * len(wr.sges)
                 wire_out = fabric.one_way_ns(request_bytes)
                 if opcode is Opcode.WRITE or opcode is Opcode.WRITE_IMM:
                     wire_out += int(length * timing.WRITE_EXTRA_NS_PER_BYTE)
@@ -453,6 +457,10 @@ class QueuePair:
                             if opcode is Opcode.READ:
                                 memory.check_remote(wr.rkey, wr.raddr, length, write=False)
                                 node.memory.write(wr.laddr, memory.read(wr.raddr, length))
+                                if _check.CHECKER is not None:
+                                    _check.CHECKER.read_executed(
+                                        remote_gid, wr.rkey, self.sim.now
+                                    )
                                 response_bytes = length
                             else:
                                 memory.check_remote(wr.rkey, wr.raddr, length, write=True)
@@ -608,6 +616,35 @@ class QueuePair:
                 memory.check_remote(wr.rkey, wr.raddr, wr.length, write=False)
                 data = memory.read(wr.raddr, wr.length)
                 self.node.memory.write(wr.laddr, data)
+                if _check.CHECKER is not None:
+                    _check.CHECKER.read_executed(remote_node.gid, wr.rkey, self.sim.now)
+                return wr.length
+            if wr.opcode is Opcode.READ_V:
+                # Vectored gather: one request, one responder occupancy.
+                # The payload-size cost is charged once on the summed
+                # length; each discontiguous segment after the first adds
+                # a DMA-setup charge.  Segments are validated and gathered
+                # in order, scattering back-to-back into the local buffer.
+                service = timing.READ_RESPONDER_SERVICE_NS
+                service += timing.responder_payload_service_ns(wr.length)
+                service += timing.VECTORED_SGE_SERVICE_NS * (len(wr.sges) - 1)
+                if self.qp_type is QpType.DC:
+                    service += timing.DC_READ_SERVICE_EXTRA_NS
+                yield from rnic.serve_inbound(service)
+                yield timing.NIC_RESPONDER_PIPELINE_NS
+                if not remote_node.alive:
+                    raise _Unreachable()
+                offset = 0
+                for raddr, rkey, seg_len in wr.sges:
+                    memory.check_remote(rkey, raddr, seg_len, write=False)
+                    self.node.memory.write(
+                        wr.laddr + offset, memory.read(raddr, seg_len)
+                    )
+                    if _check.CHECKER is not None:
+                        _check.CHECKER.read_executed(
+                            remote_node.gid, rkey, self.sim.now
+                        )
+                    offset += seg_len
                 return wr.length
             if wr.opcode is Opcode.WRITE or wr.opcode is Opcode.WRITE_IMM:
                 service = timing.WRITE_RESPONDER_SERVICE_NS
@@ -667,6 +704,10 @@ class QueuePair:
         elif wr.opcode is Opcode.WRITE_IMM:
             service = timing.WRITE_RESPONDER_SERVICE_NS
             service += timing.responder_payload_service_ns(wr.length)
+        elif wr.opcode is Opcode.READ_V:
+            service = timing.READ_RESPONDER_SERVICE_NS
+            service += timing.responder_payload_service_ns(wr.length)
+            service += timing.VECTORED_SGE_SERVICE_NS * (len(wr.sges) - 1)
         else:
             service = timing.SEND_RESPONDER_SERVICE_NS
         yield from rnic.serve_inbound(service)

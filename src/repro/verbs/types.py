@@ -19,6 +19,7 @@ class QpState(enum.Enum):
 
 class Opcode(enum.Enum):
     READ = "READ"
+    READ_V = "READ_V"  # vectored gather READ: one WR, many remote SGEs
     WRITE = "WRITE"
     WRITE_IMM = "WRITE_IMM"  # RDMA write with immediate (receiver CQE)
     SEND = "SEND"
@@ -41,5 +42,13 @@ class WcStatus(enum.Enum):
 
 #: Opcodes a requester may post (RECV/RECV_IMM are completion-only).
 POSTABLE_OPCODES = frozenset(
-    {Opcode.READ, Opcode.WRITE, Opcode.WRITE_IMM, Opcode.SEND, Opcode.CAS, Opcode.FETCH_ADD}
+    {
+        Opcode.READ,
+        Opcode.READ_V,
+        Opcode.WRITE,
+        Opcode.WRITE_IMM,
+        Opcode.SEND,
+        Opcode.CAS,
+        Opcode.FETCH_ADD,
+    }
 )

@@ -32,6 +32,7 @@ class WorkRequest:
         "dct_number",
         "dct_key",
         "imm",
+        "sges",
         "chained",
         "trace_id",
     )
@@ -53,6 +54,7 @@ class WorkRequest:
         dct_number=None,
         dct_key=None,
         imm=None,
+        sges=None,
     ):
         self.opcode = opcode
         self.wr_id = wr_id
@@ -70,6 +72,9 @@ class WorkRequest:
         self.dct_key = dct_key
         #: 32-bit immediate delivered in the receiver's CQE (WRITE_IMM).
         self.imm = imm
+        #: Remote gather list for READ_V: ``[(raddr, rkey, length), ...]``.
+        #: Segments land back-to-back at ``laddr``; ``length`` is the sum.
+        self.sges = sges
         #: True for every WR after the first in a doorbell-batched chain
         #: (set by ``QueuePair.post_send_batch``): the NIC fetches the
         #: whole chain on one doorbell, so chained WQEs issue cheaper.
@@ -103,6 +108,27 @@ class WorkRequest:
             lkey=lkey,
             raddr=raddr,
             rkey=rkey,
+            **kwargs,
+        )
+
+    @classmethod
+    def read_vectored(cls, laddr, lkey, sges, wr_id=0, signaled=True, **kwargs):
+        """A vectored gather READ: one WR naming several remote segments.
+
+        ``sges`` is a list of ``(raddr, rkey, length)`` tuples; the
+        segments are read in order and scattered back-to-back into the
+        local buffer at ``laddr``, whose registered span must cover the
+        summed length.
+        """
+        sges = [tuple(sge) for sge in sges]
+        return cls(
+            Opcode.READ_V,
+            wr_id=wr_id,
+            signaled=signaled,
+            laddr=laddr,
+            length=sum(sge[2] for sge in sges),
+            lkey=lkey,
+            sges=sges,
             **kwargs,
         )
 
@@ -169,6 +195,7 @@ class WorkRequest:
             dct_number=self.dct_number,
             dct_key=self.dct_key,
             imm=self.imm,
+            sges=self.sges,
         )
         clone.chained = self.chained
         return clone
