@@ -1,0 +1,136 @@
+"""Cluster scale-out: qconnect throughput vs node count × partition count.
+
+The serverless-burst scenario of the paper's §5.3 at rack scale, run on
+the partitioned engine (:mod:`repro.sim.partition`): every node serves
+``qconnect`` requests at the paper's Fig 8 service costs while tenants
+storm the control plane, and the run is split across engine partitions
+along rack boundaries with the inter-rack spine latency as conservative
+lookahead.
+
+Fast mode is the *equivalence* face of the figure: per (topology,
+partition count) it reports the workload digest alongside the window /
+cross-message counts, all byte-deterministic — the committed CSVs prove
+``partitions=1`` and ``partitions∈{2,4}`` compute the same run.  Full
+mode is the *throughput* face: a 256-node topology under the ``mp``
+execution mode, reporting raw wall time and the critical path (slowest
+partition compute + coordinator — i.e. the wall time on a host with one
+core per partition, which is the honest speedup measure when the bench
+host has fewer cores than partitions; see DESIGN.md §15).
+
+``partitions=N`` (the bench ``--partitions`` flag) narrows the sweep to
+``{1, N}``; counts above a topology's rack count are skipped (racks are
+never split across partitions).
+"""
+
+import time
+
+from repro.bench.harness import FigureResult
+from repro.cluster.scale import ScaleSpec, run_scale
+
+#: Fast-mode topologies: (racks, nodes_per_rack).
+FAST_TOPOLOGIES = [(4, 4), (8, 4)]
+#: Full-mode topology: 16 racks x 16 nodes = 256 nodes.
+FULL_TOPOLOGY = (16, 16)
+DEFAULT_COUNTS = [1, 2, 4]
+
+
+def _partition_counts(partitions):
+    if partitions is None:
+        return list(DEFAULT_COUNTS)
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    return sorted({1, int(partitions)})
+
+
+def run(fast=True, partitions=None):
+    result = FigureResult(
+        "Cluster scale",
+        "qconnect storm over the partitioned engine: equivalence + speedup",
+    )
+    counts = _partition_counts(partitions)
+    if fast:
+        _fast_tables(result, counts)
+    else:
+        _full_table(result, counts)
+    return result
+
+
+def _fast_tables(result, counts):
+    table = result.table(
+        "(a) cross-partition equivalence (inline, deterministic)",
+        ["racks", "nodes", "partitions", "qconnects", "windows",
+         "cross msgs", "sim throughput (K/s)", "mean latency (us)", "digest"],
+    )
+    points = {}
+    for racks, nodes_per_rack in FAST_TOPOLOGIES:
+        digests = set()
+        for count in counts:
+            if count > racks:
+                continue
+            spec = ScaleSpec(
+                racks=racks, nodes_per_rack=nodes_per_rack,
+                tenants_per_node=3, ops_per_tenant=60,
+                mean_think_ns=8_000, seed=29,
+            )
+            res = run_scale(spec, partitions=count)
+            digest = res.digest()
+            digests.add(digest)
+            table.add_row(
+                racks, racks * nodes_per_rack, count, res.completed,
+                res.windows, res.cross_messages,
+                round(res.throughput_per_sec() / 1e3, 1),
+                round(res.mean_latency_ns() / 1e3, 2),
+                digest[:16],
+            )
+            points[(racks * nodes_per_rack, count)] = (
+                res.completed, digest[:16],
+            )
+        if len(digests) > 1:
+            raise AssertionError(
+                f"partition counts diverged on {racks}x{nodes_per_rack}: "
+                f"{sorted(digests)}"
+            )
+    result.metrics["equivalence"] = points
+
+
+def _full_table(result, counts):
+    table = result.table(
+        "(a) qconnect/s vs partitions (mp, 256 nodes)",
+        ["nodes", "partitions", "qconnects", "wall (s)",
+         "max partition compute (s)", "coordinator (s)", "critical path (s)",
+         "qconnect/s (critical path)", "speedup vs P=1"],
+    )
+    racks, nodes_per_rack = FULL_TOPOLOGY
+    spec = ScaleSpec(
+        racks=racks, nodes_per_rack=nodes_per_rack,
+        tenants_per_node=4, ops_per_tenant=120,
+        mean_think_ns=9_000, cross_rack_frac=0.35, seed=42,
+    )
+    base_critical = None
+    digests = set()
+    points = {}
+    for count in counts:
+        if count > racks:
+            continue
+        started = time.perf_counter()
+        res = run_scale(spec, partitions=count, mode="mp")
+        res.wall_s = time.perf_counter() - started
+        digests.add(res.digest())
+        critical = res.critical_path_s
+        if base_critical is None:
+            base_critical = critical
+        speedup = base_critical / critical if critical > 0 else 0.0
+        table.add_row(
+            racks * nodes_per_rack, count, res.completed,
+            round(res.wall_s, 2),
+            round(max(res.partition_compute_s), 2),
+            round(res.coordinator_s, 2),
+            round(critical, 2),
+            round(res.qconnects_per_wall_sec()),
+            round(speedup, 2),
+        )
+        points[count] = (round(res.qconnects_per_wall_sec()), round(speedup, 2))
+    if len(digests) > 1:
+        raise AssertionError(f"partition counts diverged: {sorted(digests)}")
+    result.metrics["speedup"] = points
+    result.metrics["digest"] = digests.pop()[:16]

@@ -20,9 +20,24 @@ import pathlib
 import time
 
 
+def partition_aware(module_or_name):
+    """Whether a figure's ``run()`` accepts a ``partitions`` argument."""
+    import inspect
+
+    module = module_or_name
+    if isinstance(module, str):
+        module = importlib.import_module(f"repro.bench.{module}")
+    return "partitions" in inspect.signature(module.run).parameters
+
+
 def run_figure(name, full=False, trace_path=None, metrics_path=None,
-               profile_path=None):
+               profile_path=None, partitions=None):
     """Run one figure module and return ``(FigureResult, perf_record)``.
+
+    ``partitions`` is forwarded to figure modules whose ``run()`` accepts
+    it (the partition-aware figures, e.g. ``cluster_scale``); for every
+    other figure the value is ignored — partition selection is a figure
+    property, not a global engine mode.
 
     The cyclic GC is paused for the duration of the run: the engine
     allocates millions of short-lived resume records and tuples per
@@ -45,6 +60,9 @@ def run_figure(name, full=False, trace_path=None, metrics_path=None,
     from repro.sim import ENGINE, Simulator
 
     module = importlib.import_module(f"repro.bench.{name}")
+    run_kwargs = {}
+    if partitions is not None and partition_aware(module):
+        run_kwargs["partitions"] = partitions
     events_before = Simulator.total_events_dispatched
     sim_ns_before = Simulator.total_sim_ns
     profiler = None
@@ -60,12 +78,12 @@ def run_figure(name, full=False, trace_path=None, metrics_path=None,
             profiler.enable()
         try:
             if trace_path is None and metrics_path is None:
-                result = module.run(fast=not full)
+                result = module.run(fast=not full, **run_kwargs)
             else:
                 from repro import obs
 
                 with obs.observe() as (tracer, registry):
-                    result = module.run(fast=not full)
+                    result = module.run(fast=not full, **run_kwargs)
                 _export(trace_path, tracer.to_json)
                 _export(metrics_path, registry.to_json)
         finally:

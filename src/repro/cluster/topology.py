@@ -1,0 +1,115 @@
+"""Rack-aware cluster topology and partition placement.
+
+The partitioned engine (:mod:`repro.sim.partition`) splits a simulated
+cluster into engine partitions along *rack* boundaries: every node of a
+rack lands in the same partition, because intra-rack interactions use the
+single-switch latency (:data:`repro.cluster.timing.WIRE_ONE_WAY_NS`),
+which is below the conservative lookahead bound.  Only inter-rack
+traffic — which pays at least one spine traversal
+(:data:`repro.cluster.timing.INTER_RACK_ONE_WAY_NS`) — may cross a
+partition boundary, and that spine latency is exactly the lookahead the
+synchronization protocol relies on.
+
+:class:`RackTopology` names nodes by dense integer id and knows their
+rack; :func:`plan_partitions` maps racks onto partitions in contiguous,
+deterministic blocks.  Both are pure data: the same ``(racks,
+nodes_per_rack, partitions)`` triple always yields the same placement,
+which is what makes fault plans and workload schedules partition-stable
+(a fault targeting node 37 hits the same simulated entity at every
+partition count).
+"""
+
+
+class RackTopology:
+    """A cluster of ``racks`` racks with ``nodes_per_rack`` nodes each.
+
+    Nodes are numbered ``0 .. racks*nodes_per_rack - 1`` rack-major, so
+    rack membership is a division and placement needs no lookup tables.
+    """
+
+    __slots__ = ("racks", "nodes_per_rack")
+
+    def __init__(self, racks, nodes_per_rack):
+        if racks < 1 or nodes_per_rack < 1:
+            raise ValueError("topology needs >= 1 rack and >= 1 node per rack")
+        self.racks = int(racks)
+        self.nodes_per_rack = int(nodes_per_rack)
+
+    @property
+    def num_nodes(self):
+        return self.racks * self.nodes_per_rack
+
+    def rack_of(self, node):
+        """The rack hosting ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside topology of {self.num_nodes}")
+        return node // self.nodes_per_rack
+
+    def nodes_in_rack(self, rack):
+        """The node ids of one rack, ascending."""
+        if not 0 <= rack < self.racks:
+            raise ValueError(f"rack {rack} outside topology of {self.racks}")
+        base = rack * self.nodes_per_rack
+        return range(base, base + self.nodes_per_rack)
+
+    def gid(self, node):
+        """The RDMA-address-style name of ``node`` (stable across runs)."""
+        return f"rack{self.rack_of(node)}-n{node}"
+
+    def same_rack(self, a, b):
+        return self.rack_of(a) == self.rack_of(b)
+
+    def __repr__(self):
+        return f"RackTopology(racks={self.racks}, nodes_per_rack={self.nodes_per_rack})"
+
+
+class PartitionAssignment:
+    """Which partition owns each rack (and therefore each node)."""
+
+    __slots__ = ("topology", "partitions", "_rack_part")
+
+    def __init__(self, topology, partitions, rack_part):
+        self.topology = topology
+        self.partitions = partitions
+        self._rack_part = rack_part
+
+    def partition_of_rack(self, rack):
+        return self._rack_part[rack]
+
+    def partition_of_node(self, node):
+        return self._rack_part[self.topology.rack_of(node)]
+
+    def racks_of_partition(self, part):
+        return [r for r, p in enumerate(self._rack_part) if p == part]
+
+    def nodes_of_partition(self, part):
+        nodes = []
+        for rack in self.racks_of_partition(part):
+            nodes.extend(self.topology.nodes_in_rack(rack))
+        return nodes
+
+    def __repr__(self):
+        return (
+            f"PartitionAssignment(partitions={self.partitions}, "
+            f"rack_part={self._rack_part})"
+        )
+
+
+def plan_partitions(topology, partitions):
+    """Place ``topology``'s racks onto ``partitions`` engine partitions.
+
+    Racks are never split (intra-rack latency is below the lookahead
+    bound) and the placement is contiguous and deterministic: rack ``r``
+    goes to partition ``r * partitions // racks``, which balances rack
+    counts within one and keeps neighbouring racks together.
+    """
+    partitions = int(partitions)
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    if partitions > topology.racks:
+        raise ValueError(
+            f"cannot split {topology.racks} racks over {partitions} partitions "
+            "(a rack is never split across partitions)"
+        )
+    rack_part = [r * partitions // topology.racks for r in range(topology.racks)]
+    return PartitionAssignment(topology, partitions, rack_part)

@@ -5,6 +5,7 @@
     python -m repro.faults --seed 5 --metrics -
     python -m repro.faults --gray --seed 5
     python -m repro.faults --microview --seed 5
+    python -m repro.faults --scale --seed 5 --partitions 4
 
 One run boots the chaos harness (YCSB over KRCORE under a random fault
 plan drawn from ``--seed``), prints the report summary and the applied
@@ -23,6 +24,13 @@ pods under it and a meta outage forces the MRStore into stale-accept
 mode.  Invariants assert no READ ever executes against an MR retracted
 more than one lease ago, the degraded mode actually engaged, and the
 shared physical QP survived every churn race.
+
+``--scale`` runs the partitioned-equivalence-under-faults harness: a
+seeded ``node_slow`` plan over a rack topology, applied partition-
+locally, with invariants asserting the faulted run digests identically
+at ``partitions=1`` and ``--partitions`` (and that the faults actually
+perturbed the run).  This is the chaos leg for the partitioned engine
+(:mod:`repro.sim.partition`).
 
 ``--trace PATH`` installs the ``repro.obs`` tracer for the run and
 exports Chrome trace-event JSON (Perfetto-loadable): every injected
@@ -58,6 +66,17 @@ def main(argv=None):
              "storms + meta outage) instead of the binary-fault harness",
     )
     parser.add_argument(
+        "--scale", action="store_true",
+        help="run the partitioned-equivalence-under-faults harness "
+             "(node_slow plan over a rack topology, digests compared "
+             "across partition counts)",
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=2,
+        help="with --scale: partition count to compare against "
+             "partitions=1 (default 2)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=1,
         help="fault-plan and workload seed (default 1); one seed gives a "
              "byte-identical report digest",
@@ -86,9 +105,22 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
+    if sum((args.gray, args.microview, args.scale)) > 1:
+        parser.error("--gray, --microview, and --scale are mutually exclusive")
+
+    if args.scale:
+        from repro.faults.scale import run_scale_chaos
+
+        report = run_scale_chaos(args.seed, partitions=args.partitions)
+        print(report.summary())
+        for at_ns, kind, summary in report.fault_log:
+            print(f"  t={at_ns}ns {kind}: {summary}")
+        for name in sorted(report.invariants):
+            print(f"  {name}: {'PASS' if report.invariants[name] else 'FAIL'}")
+        print(f"digest: {report.digest()}")
+        return 0 if report.all_invariants_hold else 1
+
     if args.gray or args.microview:
-        if args.gray and args.microview:
-            parser.error("--gray and --microview are mutually exclusive")
         if args.gray:
             from repro.faults.gray import run_gray_chaos
 

@@ -4,8 +4,11 @@ Determinism is what makes the regenerated figures reproducible and the
 hypothesis failures replayable, so it gets its own tests.
 """
 
+import pytest
+
 from repro.bench.fig03 import run as run_fig03
 from repro.bench.onesided import run_onesided
+from repro.cluster.scale import ScaleSpec, run_scale
 from repro.sim import Simulator, US
 from repro.verbs import WorkRequest
 from tests.conftest import krcore_cluster
@@ -63,3 +66,41 @@ def test_full_krcore_workload_replays_identically():
         return sim.run_process(proc())
 
     assert one_run() == one_run()
+
+
+# -- partitioned runs --------------------------------------------------------
+#
+# The partitioned engine must be deterministic along every axis at once:
+# repeated same-seed runs, every partition count, both engine cores, and
+# both execution modes.  ``engine`` here drives the Partition-level core
+# selection, which is what the process-wide ``REPRO_ENGINE`` value feeds
+# (CI runs this file under both env values, covering "default" too).
+
+_SCALE_KWARGS = dict(racks=4, nodes_per_rack=2, tenants_per_node=2,
+                     ops_per_tenant=6, mean_think_ns=5_000, seed=21)
+
+
+@pytest.mark.parametrize("engine", ["default", "flat", "classic"])
+@pytest.mark.parametrize("partitions", [1, 2, 4])
+def test_partitioned_same_seed_runs_are_identical(partitions, engine):
+    spec = ScaleSpec(engine=engine, **_SCALE_KWARGS)
+    first = run_scale(spec, partitions=partitions)
+    second = run_scale(spec, partitions=partitions)
+    assert first.digest() == second.digest()
+    assert first.records == second.records
+    assert first.windows == second.windows
+    assert first.events_dispatched == second.events_dispatched
+
+
+def test_partitioned_mp_mode_is_deterministic():
+    spec = ScaleSpec(**_SCALE_KWARGS)
+    first = run_scale(spec, partitions=2, mode="mp")
+    second = run_scale(spec, partitions=2, mode="mp")
+    assert first.digest() == second.digest()
+    assert first.windows == second.windows
+
+
+def test_partitioned_seed_changes_digest():
+    a = run_scale(ScaleSpec(**_SCALE_KWARGS), partitions=2)
+    b = run_scale(ScaleSpec(**{**_SCALE_KWARGS, "seed": 22}), partitions=2)
+    assert a.digest() != b.digest()

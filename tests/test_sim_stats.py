@@ -90,3 +90,72 @@ def test_rate_meter_reset():
     sim.run_process(proc())
     assert meter.count == 2
     assert meter.rate_per_sec() == pytest.approx(2 * 1_000_000_000 / 1_000)
+
+
+def test_percentile_exact_integer_rank_skips_interpolation():
+    # rank 0.5 * (3 - 1) = 1.0 lands exactly on an element: the low ==
+    # high branch must return it untouched (no float blending).
+    assert percentile([10, 20, 30], 0.5) == 20
+    assert isinstance(percentile([10, 20, 30], 0.5), int)
+
+
+def test_percentile_single_sample_any_fraction():
+    assert percentile([42], 0.0) == 42
+    assert percentile([42], 1.0) == 42
+
+
+def test_cdf_single_sample_is_one_point():
+    recorder = LatencyRecorder()
+    recorder.record(5_000)
+    assert recorder.cdf() == [(5_000, 1.0)]
+
+
+def test_cdf_empty_recorder_is_empty_curve():
+    assert LatencyRecorder().cdf() == []
+
+
+def test_cdf_more_points_than_samples_keeps_every_sample():
+    recorder = LatencyRecorder()
+    for value in (3, 1, 2):
+        recorder.record(value)
+    assert recorder.cdf(points=100) == [
+        (1, 1 / 3), (2, 2 / 3), (3, 1.0),
+    ]
+
+
+def test_empty_recorder_summaries_raise():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.mean()
+    with pytest.raises(ValueError):
+        recorder.p(0.5)
+    assert len(recorder) == 0
+
+
+def test_rate_meter_window_starts_at_creation_time():
+    sim = Simulator()
+    observed = []
+
+    def proc():
+        yield 500
+        meter = RateMeter(sim)
+        yield 250
+        meter.tick(3)
+        observed.append((meter.elapsed_ns, meter.rate_per_sec()))
+
+    sim.run_process(proc())
+    assert observed == [(250, pytest.approx(3 * 1_000_000_000 / 250))]
+
+
+def test_rate_meter_reset_requires_fresh_elapsed_time():
+    sim = Simulator()
+    meter = RateMeter(sim)
+
+    def proc():
+        yield 100
+        meter.tick()
+
+    sim.run_process(proc())
+    meter.reset()
+    with pytest.raises(ValueError):
+        meter.rate_per_sec()
